@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks of the simulator's hot components: cache
+//! probes, DRAM channel model, ELM generation, BF16 conversion, and the
+//! bilinear surface interpolation used by the §VI methodology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use save_core::mgu;
+use save_isa::{Bf16, VecF32};
+use save_mem::{Cache, CacheConfig, Dram, DramConfig, Replacement};
+use save_sim::Surface;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("components/l1_probe_hit", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            capacity_bytes: 32 * 1024,
+            ways: 8,
+            replacement: Replacement::Lru,
+        });
+        for l in 0..256 {
+            cache.fill(l);
+        }
+        let mut l = 0u64;
+        b.iter(|| {
+            l = (l + 1) % 256;
+            std::hint::black_box(cache.access(l))
+        })
+    });
+    c.bench_function("components/srrip_fill_evict", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            capacity_bytes: 64 * 64,
+            ways: 16,
+            replacement: Replacement::Srrip,
+        });
+        let mut l = 0u64;
+        b.iter(|| {
+            l += 1;
+            std::hint::black_box(cache.fill(l))
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("components/dram_access", |b| {
+        let mut d = Dram::new(DramConfig::default());
+        let mut l = 0u64;
+        b.iter(|| {
+            l += 1;
+            std::hint::black_box(d.access_line(l, l as f64, false))
+        })
+    });
+}
+
+fn bench_mgu(c: &mut Criterion) {
+    let mut a = VecF32::splat(1.5);
+    a.set_lane(3, 0.0);
+    a.set_lane(9, 0.0);
+    let bvec = VecF32::splat(2.0);
+    c.bench_function("components/elm_f32", |b| {
+        b.iter(|| std::hint::black_box(mgu::elm_f32(&a, &bvec, u16::MAX)))
+    });
+    c.bench_function("components/elm_mixed", |b| {
+        b.iter(|| std::hint::black_box(mgu::elm_mp(&a, &bvec)))
+    });
+}
+
+fn bench_bf16(c: &mut Criterion) {
+    c.bench_function("components/bf16_roundtrip", |b| {
+        let mut x = 0.1f32;
+        b.iter(|| {
+            x += 0.001;
+            std::hint::black_box(Bf16::from_f32(x).to_f32())
+        })
+    });
+}
+
+fn bench_surface(c: &mut Criterion) {
+    let levels: Vec<f64> = (0..10).map(|i| i as f64 * 0.1).collect();
+    let secs: Vec<f64> = (0..100).map(|i| 1.0 / (1.0 + i as f64 * 0.01)).collect();
+    let s = Surface { a_levels: levels.clone(), b_levels: levels, secs };
+    c.bench_function("components/surface_interp", |b| {
+        let mut x = 0.0;
+        b.iter(|| {
+            x = (x + 0.013) % 0.9;
+            std::hint::black_box(s.interp(x, 0.9 - x))
+        })
+    });
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache, bench_dram, bench_mgu, bench_bf16, bench_surface
+}
+criterion_main!(components);

@@ -1,0 +1,124 @@
+//! Ablation studies for the design choices DESIGN.md calls out — beyond
+//! the paper's own ablations (Figs 17-19), these sweep the structures SAVE
+//! depends on:
+//!
+//! * reservation-station size — bounds the combination window (§III says
+//!   the CW is capped by the 32 ISA registers at 24-28; a small RS caps it
+//!   earlier);
+//! * allocation width — the front-end headroom SAVE exploits (§I's
+//!   5-wide-allocation vs 2-VPU observation);
+//! * broadcast-cache size — the paper picks 32 entries to match the
+//!   architectural register count (§IV-A);
+//! * stream-prefetch depth — the memory substrate SAVE sits on;
+//! * mixed-precision forwarding overlap (§V-B).
+
+use save_bench::print_table;
+use save_core::CoreConfig;
+use save_kernels::{Phase, Precision};
+use save_sim::runner::run_kernel_custom;
+use save_sim::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::default();
+    let shape = save_kernels::shapes::conv_by_name("ResNet3_2").expect("shape table");
+    let fwd = shape.workload(Phase::Forward, Precision::F32).with_sparsity(0.0, 0.6);
+    let base_time =
+        run_kernel_custom(&fwd, &CoreConfig::baseline(), &machine, 1, false).seconds;
+
+    // 1. RS size: the combination window is RS-bound until the 32-register
+    // limit takes over.
+    let mut rows = Vec::new();
+    for rs in [24usize, 48, 64, 97, 128] {
+        let cfg = CoreConfig { rs_entries: rs, ..CoreConfig::save_2vpu() };
+        let r = run_kernel_custom(&fwd, &cfg, &machine, 1, false);
+        rows.push(vec![
+            format!("{rs}"),
+            format!("{:.2}x", base_time / r.seconds),
+            format!("{:.1}", r.stats.mean_cw()),
+        ]);
+    }
+    print_table(
+        "Ablation: reservation-station size (ResNet3_2 fwd FP32, 60% NBS)",
+        &["RS entries", "speedup", "mean CW"],
+        &rows,
+    );
+
+    // 2. Allocation width.
+    let mut rows = Vec::new();
+    for width in [3usize, 4, 5, 6] {
+        let cfg = CoreConfig { issue_width: width, commit_width: width, ..CoreConfig::save_2vpu() };
+        let base = CoreConfig { issue_width: width, commit_width: width, ..CoreConfig::baseline() };
+        let tb = run_kernel_custom(&fwd, &base, &machine, 1, false).seconds;
+        let ts = run_kernel_custom(&fwd, &cfg, &machine, 1, false).seconds;
+        rows.push(vec![format!("{width}-wide"), format!("{:.2}x", tb / ts)]);
+    }
+    print_table(
+        "Ablation: allocation width (speedup vs same-width baseline)",
+        &["front end", "speedup"],
+        &rows,
+    );
+
+    // 3. Broadcast-cache entries, on the embedded-broadcast wgrad kernel.
+    let wgrad = shape.workload(Phase::BackwardWeights, Precision::F32).with_sparsity(0.4, 0.4);
+    let mut base_machine = machine;
+    base_machine.mem.bcast = None;
+    let tb = run_kernel_custom(&wgrad, &CoreConfig::baseline(), &base_machine, 1, false).seconds;
+    let mut rows = Vec::new();
+    for entries in [4usize, 8, 16, 32, 64] {
+        let mut m = machine;
+        m.mem.bcast_entries = entries;
+        let r = run_kernel_custom(&wgrad, &CoreConfig::save_2vpu(), &m, 1, false);
+        let hit_rate = if r.stats.bcast_loads == 0 {
+            0.0
+        } else {
+            r.stats.bcast_hits as f64 / r.stats.bcast_loads as f64
+        };
+        rows.push(vec![
+            format!("{entries}"),
+            format!("{:.2}x", tb / r.seconds),
+            format!("{:.1}%", hit_rate * 100.0),
+        ]);
+    }
+    print_table(
+        "Ablation: B$ entries (ResNet3_2 wgrad FP32, embedded broadcast, 40%/40%)",
+        &["B$ entries", "speedup", "B$ hit rate"],
+        &rows,
+    );
+
+    // 4. Prefetch depth.
+    let mut rows = Vec::new();
+    for depth in [0u64, 8, 16, 64] {
+        let mut m = machine;
+        m.mem.prefetch_degree = depth;
+        let tbb = run_kernel_custom(&fwd, &CoreConfig::baseline(), &m, 1, false).seconds;
+        let ts = run_kernel_custom(&fwd, &CoreConfig::save_2vpu(), &m, 1, false).seconds;
+        rows.push(vec![
+            format!("{depth}"),
+            format!("{:.2}", tbb / base_time),
+            format!("{:.2}x", tbb / ts),
+        ]);
+    }
+    print_table(
+        "Ablation: stream-prefetch depth (baseline time vs depth-64 baseline; SAVE speedup)",
+        &["depth", "baseline slowdown", "SAVE speedup"],
+        &rows,
+    );
+
+    // 5. MP partial-result forwarding overlap (§V-B).
+    let mp = save_kernels::shapes::conv_by_name("ResNet4_1a")
+        .expect("shape")
+        .workload(Phase::BackwardInput, Precision::Mixed)
+        .with_sparsity(0.0, 0.6);
+    let tb = run_kernel_custom(&mp, &CoreConfig::baseline(), &machine, 1, false).seconds;
+    let mut rows = Vec::new();
+    for overlap in [0u64, 1, 2, 3] {
+        let cfg = CoreConfig { mp_forward_overlap: overlap, ..CoreConfig::save_1vpu() };
+        let ts = run_kernel_custom(&mp, &cfg, &machine, 1, false).seconds;
+        rows.push(vec![format!("{overlap} cycles"), format!("{:.2}x", tb / ts)]);
+    }
+    print_table(
+        "Ablation: MP partial-result forwarding overlap (ResNet4_1a MP bwd-input, 1 VPU)",
+        &["overlap", "speedup"],
+        &rows,
+    );
+}

@@ -1,0 +1,65 @@
+//! Fig 15 — SAVE speedups on the mixed-precision forward propagation of
+//! ResNet2_2 over the full (NBS x BS) sparsity grid, with 2 VPUs @ 1.7 GHz
+//! and 1 VPU @ 2.1 GHz.
+//!
+//! Paper landmarks to compare against: 2-VPU benefit caps ~1.49x once
+//! either sparsity type reaches ~60%; 1 VPU is 29% slower when dense,
+//! reaches ~1.96x, and overtakes 2 VPUs past ~70% sparsity.
+
+use save_bench::{print_table, HarnessArgs};
+use save_kernels::{Phase, Precision};
+use save_sim::runner::run_kernel;
+use save_sim::{ConfigKind, MachineConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    bs: f64,
+    nbs: f64,
+    speedup_2vpu: f64,
+    speedup_1vpu: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let grid = args.grid();
+    let shape = save_kernels::shapes::conv_by_name("ResNet2_2").expect("shape table");
+    let w0 = shape.workload(Phase::Forward, Precision::Mixed);
+    let machine = MachineConfig::default();
+
+    let mut cells = Vec::new();
+    let mut rows2 = Vec::new();
+    let mut rows1 = Vec::new();
+    for &nbs in &grid {
+        let mut r2 = vec![format!("NBS {:>3.0}%", nbs * 100.0)];
+        let mut r1 = r2.clone();
+        for &bs in &grid {
+            let w = w0.clone().with_sparsity(bs, nbs);
+            let seed = ((bs * 100.0) as u64) << 8 | (nbs * 100.0) as u64;
+            let tb = run_kernel(&w, ConfigKind::Baseline, &machine, seed, false).seconds;
+            let t2 = run_kernel(&w, ConfigKind::Save2Vpu, &machine, seed, false).seconds;
+            let t1 = run_kernel(&w, ConfigKind::Save1Vpu, &machine, seed, false).seconds;
+            r2.push(format!("{:.2}", tb / t2));
+            r1.push(format!("{:.2}", tb / t1));
+            cells.push(Cell { bs, nbs, speedup_2vpu: tb / t2, speedup_1vpu: tb / t1 });
+        }
+        rows2.push(r2);
+        rows1.push(r1);
+    }
+    let mut headers: Vec<String> = vec!["".into()];
+    headers.extend(grid.iter().map(|b| format!("BS {:.0}%", b * 100.0)));
+    let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table("Fig 15a: ResNet2_2 MP fwd speedup, 2 VPUs @ 1.7GHz", &hrefs, &rows2);
+    print_table("Fig 15b: ResNet2_2 MP fwd speedup, 1 VPU @ 2.1GHz", &hrefs, &rows1);
+    save_bench::write_json("fig15", &cells);
+
+    let max2 = cells.iter().map(|c| c.speedup_2vpu).fold(0.0f64, f64::max);
+    let max1 = cells.iter().map(|c| c.speedup_1vpu).fold(0.0f64, f64::max);
+    let dense1 = cells
+        .iter()
+        .find(|c| c.bs == 0.0 && c.nbs == 0.0)
+        .map(|c| c.speedup_1vpu)
+        .unwrap_or(f64::NAN);
+    println!("\nlandmarks: 2-VPU cap {max2:.2}x (paper ~1.49x); 1-VPU max {max1:.2}x (paper ~1.96x);");
+    println!("           1-VPU dense {dense1:.2}x (paper ~0.71x, i.e. 29% slowdown)");
+}

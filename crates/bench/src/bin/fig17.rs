@@ -1,0 +1,64 @@
+//! Fig 17 — broadcast-cache designs on an embedded-broadcast kernel:
+//! SAVE speedups on the FP32 backward-weights kernel of ResNet3_2 with two
+//! VPUs, with no B$, a mask-design B$, and a data-design B$, at 0% and 40%
+//! broadcasted sparsity across non-broadcasted sparsity levels.
+//!
+//! Paper landmarks: without a B$ there is no speedup at any sparsity; both
+//! designs help as BS grows; only the data design keeps improving with NBS
+//! (the mask design still burns an L1-D port on non-zero broadcasts).
+
+use save_bench::{print_table, HarnessArgs};
+use save_core::CoreConfig;
+use save_kernels::{Phase, Precision};
+use save_mem::BcastDesign;
+use save_sim::runner::run_kernel_custom;
+use save_sim::MachineConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    design: String,
+    bs: f64,
+    nbs: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let grid = args.grid();
+    let shape = save_kernels::shapes::conv_by_name("ResNet3_2").expect("shape table");
+    let w0 = shape.workload(Phase::BackwardWeights, Precision::F32);
+    assert_eq!(w0.spec.pattern, save_kernels::BroadcastPattern::Embedded);
+
+    let designs: [(&str, Option<BcastDesign>); 3] =
+        [("No B$", None), ("B$ w/ masks", Some(BcastDesign::Masks)), ("B$ w/ data", Some(BcastDesign::Data))];
+
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    for bs in [0.0, 0.4] {
+        for (label, design) in designs {
+            let mut row = vec![format!("{label} @ {:.0}% BS", bs * 100.0)];
+            for &nbs in &grid {
+                let mut machine = MachineConfig::default();
+                machine.mem.bcast = design;
+                let w = w0.clone().with_sparsity(bs, nbs);
+                let seed = ((bs * 100.0) as u64) << 8 | (nbs * 100.0) as u64;
+                // Baseline never has a B$ (it is a SAVE structure).
+                let mut base_machine = MachineConfig::default();
+                base_machine.mem.bcast = None;
+                let tb = run_kernel_custom(&w, &CoreConfig::baseline(), &base_machine, seed, false)
+                    .seconds;
+                let ts =
+                    run_kernel_custom(&w, &CoreConfig::save_2vpu(), &machine, seed, false).seconds;
+                row.push(format!("{:.2}", tb / ts));
+                points.push(Point { design: label.into(), bs, nbs, speedup: tb / ts });
+            }
+            rows.push(row);
+        }
+    }
+    let mut headers: Vec<String> = vec!["config".into()];
+    headers.extend(grid.iter().map(|b| format!("NBS {:.0}%", b * 100.0)));
+    let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table("Fig 17: ResNet3_2 FP32 bwd-weights (embedded broadcast), 2 VPUs", &hrefs, &rows);
+    save_bench::write_json("fig17", &points);
+}

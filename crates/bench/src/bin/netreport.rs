@@ -1,0 +1,79 @@
+//! Per-layer network report: for one network and precision, the per-layer
+//! inference sparsity and speedups under each SAVE operating point — the
+//! layer-resolved view behind Fig 14's aggregates.
+//!
+//! Usage: `netreport [vgg16|resnet50|resnet50-pruned|gnmt] [--mp]`
+
+use save_bench::print_table;
+use save_kernels::{Phase, Precision};
+use save_sim::runner::run_kernel;
+use save_sim::{ConfigKind, MachineConfig, Network};
+use save_sparsity::NetKind;
+
+struct LayerRow {
+    name: String,
+    bs: f64,
+    nbs: f64,
+    tb: f64,
+    t2: f64,
+    t1: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kind = match args.get(1).map(|s| s.as_str()) {
+        Some("vgg16") => NetKind::Vgg16Dense,
+        Some("resnet50") => NetKind::ResNet50Dense,
+        Some("gnmt") => NetKind::GnmtPruned,
+        _ => NetKind::ResNet50Pruned,
+    };
+    let precision =
+        if args.iter().any(|a| a == "--mp") { Precision::Mixed } else { Precision::F32 };
+    let machine = MachineConfig::default();
+    let net = Network::build(kind);
+
+    let mut layers = Vec::new();
+    for (li, layer) in net.layers.iter().enumerate() {
+        let p = net.inference_point(li);
+        let w = layer.workload(Phase::Forward, precision);
+        let scale = layer.flops() / w.flops();
+        let w = w.with_sparsity(p.a, p.b);
+        layers.push(LayerRow {
+            name: layer.name().to_string(),
+            bs: p.a,
+            nbs: p.b,
+            tb: run_kernel(&w, ConfigKind::Baseline, &machine, li as u64, false).seconds * scale,
+            t2: run_kernel(&w, ConfigKind::Save2Vpu, &machine, li as u64, false).seconds * scale,
+            t1: run_kernel(&w, ConfigKind::Save1Vpu, &machine, li as u64, false).seconds * scale,
+        });
+    }
+    let total_b: f64 = layers.iter().map(|l| l.tb).sum();
+    let total_2: f64 = layers.iter().map(|l| l.t2).sum();
+    let total_1: f64 = layers.iter().map(|l| l.t1).sum();
+    let total_d: f64 = layers.iter().map(|l| l.t2.min(l.t1)).sum();
+    let rows: Vec<Vec<String>> = layers
+        .iter()
+        .map(|l| {
+            vec![
+                l.name.clone(),
+                format!("{:.0}%", l.bs * 100.0),
+                format!("{:.0}%", l.nbs * 100.0),
+                format!("{:.2}x", l.tb / l.t2),
+                format!("{:.2}x", l.tb / l.t1),
+                format!("{:.2}x", l.tb / l.t2.min(l.t1)),
+                format!("{:.1}%", l.tb / total_b * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Per-layer inference report: {} ({precision})", kind.label()),
+        &["layer", "BS", "NBS", "2 VPUs", "1 VPU", "dynamic", "time share"],
+        &rows,
+    );
+    println!(
+        "\nwhole network: 2 VPUs {:.2}x | 1 VPU {:.2}x | dynamic {:.2}x",
+        total_b / total_2,
+        total_b / total_1,
+        total_b / total_d
+    );
+}

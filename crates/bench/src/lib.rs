@@ -1,0 +1,86 @@
+//! # save-bench — regeneration harness for every table and figure
+//!
+//! One binary per experiment (`table1`-`table3`, `fig12`-`fig19`), each
+//! printing the same rows/series the paper reports and writing a
+//! machine-readable JSON copy under `target/experiments/` for
+//! EXPERIMENTS.md. Criterion micro-benchmarks cover the simulator's hot
+//! paths and one representative kernel per experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory experiment JSON results are written to.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Writes `value` as pretty JSON to `target/experiments/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create result file");
+    let s = serde_json::to_string_pretty(value).expect("serialize result");
+    f.write_all(s.as_bytes()).expect("write result");
+    eprintln!("[saved {}]", path.display());
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, c) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// `true` when `--quick` was passed (reduced sweeps) and the grid /
+/// machine scale to use.
+pub struct HarnessArgs {
+    /// Reduced sweep sizes.
+    pub quick: bool,
+    /// Use the paper's full 10-level grid.
+    pub full: bool,
+}
+
+impl HarnessArgs {
+    /// Parses `--quick` / `--full` from the command line.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        HarnessArgs {
+            quick: args.iter().any(|a| a == "--quick"),
+            full: args.iter().any(|a| a == "--full"),
+        }
+    }
+
+    /// The sparsity grid implied by the flags.
+    pub fn grid(&self) -> Vec<f64> {
+        if self.full {
+            save_sim::surface::paper_grid()
+        } else if self.quick {
+            vec![0.0, 0.3, 0.6, 0.9]
+        } else {
+            save_sim::surface::coarse_grid()
+        }
+    }
+}

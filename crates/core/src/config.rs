@@ -1,0 +1,157 @@
+//! Core configuration (Table I parameters plus SAVE feature toggles).
+
+use serde::{Deserialize, Serialize};
+
+/// Which VPU select logic the core uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Conventional oldest-first whole-vector issue — no sparsity awareness.
+    Baseline,
+    /// SAVE vertical coalescing (Algorithm 1). Rotation and lane-wise
+    /// dependence are controlled by [`CoreConfig::rotate`] and
+    /// [`CoreConfig::lane_wise`].
+    Vertical,
+    /// Horizontal compression — the paper's rejected alternative, kept as a
+    /// comparison point (Fig 18). Adds [`CoreConfig::hc_penalty_cycles`] to
+    /// the VFMA latency for bubble-collapse/expand crossbars.
+    Horizontal,
+}
+
+/// Full core configuration.
+///
+/// Defaults reproduce the paper's baseline machine (Table I with the
+/// Sunny-Cove-style 5-wide issue) with all SAVE features enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Allocation (rename/dispatch) width in µops per cycle.
+    pub issue_width: usize,
+    /// Commit width in µops per cycle.
+    pub commit_width: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Unified reservation-station entries.
+    pub rs_entries: usize,
+    /// Physical vector registers (renaming pool).
+    pub phys_regs: usize,
+    /// Number of active 512-bit VPUs (2 at 1.7 GHz or 1 at 2.1 GHz, §IV-D).
+    pub num_vpus: usize,
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// FP32 VFMA latency in cycles (Skylake: 4).
+    pub fp32_fma_cycles: u64,
+    /// Mixed-precision VFMA latency in cycles (paper: 6).
+    pub mp_fma_cycles: u64,
+    /// Cycles by which a chained MP VFMA can issue early thanks to
+    /// partial-result forwarding when the MP technique is on (§V-B).
+    pub mp_forward_overlap: u64,
+    /// Load ports (L1-D reads per cycle).
+    pub load_ports: usize,
+    /// Load-buffer entries: the maximum loads in flight (Skylake: 72).
+    /// Bounds memory-level parallelism on DRAM-latency streams.
+    pub load_buffer: usize,
+    /// Store issues per cycle.
+    pub store_ports: usize,
+    /// Scheduler variant.
+    pub scheduler: SchedulerKind,
+    /// Rotate-vertical coalescing (§IV-B); only meaningful with
+    /// [`SchedulerKind::Vertical`].
+    pub rotate: bool,
+    /// Lane-wise dependence (§IV-C) instead of vector-wise.
+    pub lane_wise: bool,
+    /// Mixed-precision multiplicand-lane compression (§V-A).
+    pub mp_compress: bool,
+    /// Extra VFMA latency under horizontal compression (3-cycle
+    /// bubble-collapse + 3-cycle expand, §VII-D).
+    pub hc_penalty_cycles: u64,
+    /// Abort a run after this many cycles (deadlock guard).
+    pub max_cycles: u64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            issue_width: 5,
+            commit_width: 5,
+            rob_entries: 224,
+            rs_entries: 97,
+            phys_regs: 320,
+            num_vpus: 2,
+            freq_ghz: 1.7,
+            fp32_fma_cycles: 4,
+            mp_fma_cycles: 6,
+            mp_forward_overlap: 2,
+            load_ports: 2,
+            load_buffer: 72,
+            store_ports: 1,
+            scheduler: SchedulerKind::Vertical,
+            rotate: true,
+            lane_wise: true,
+            mp_compress: true,
+            hc_penalty_cycles: 6,
+            max_cycles: 500_000_000,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// The paper's baseline: 2 VPUs at 1.7 GHz, conventional scheduler.
+    pub fn baseline() -> Self {
+        CoreConfig {
+            scheduler: SchedulerKind::Baseline,
+            rotate: false,
+            lane_wise: false,
+            mp_compress: false,
+            ..CoreConfig::default()
+        }
+    }
+
+    /// Full SAVE with 2 VPUs at 1.7 GHz.
+    pub fn save_2vpu() -> Self {
+        CoreConfig::default()
+    }
+
+    /// Full SAVE with 1 VPU at the boosted 2.1 GHz (§IV-D).
+    pub fn save_1vpu() -> Self {
+        CoreConfig { num_vpus: 1, freq_ghz: 2.1, ..CoreConfig::default() }
+    }
+
+    /// Nanoseconds per core cycle.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0 / self.freq_ghz
+    }
+
+    /// Converts a wall-clock latency to (rounded-up) core cycles.
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        (ns * self.freq_ghz).ceil() as u64
+    }
+
+    /// Converts a cycle count to seconds at this frequency.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_operating_points() {
+        let b = CoreConfig::baseline();
+        assert_eq!(b.num_vpus, 2);
+        assert_eq!(b.freq_ghz, 1.7);
+        assert_eq!(b.scheduler, SchedulerKind::Baseline);
+        let s1 = CoreConfig::save_1vpu();
+        assert_eq!(s1.num_vpus, 1);
+        assert_eq!(s1.freq_ghz, 2.1);
+        assert_eq!(s1.scheduler, SchedulerKind::Vertical);
+    }
+
+    #[test]
+    fn time_conversions_roundtrip() {
+        let c = CoreConfig::default();
+        assert_eq!(c.ns_to_cycles(1.0), 2); // 1.7 cycles rounds up
+        let s = c.cycles_to_seconds(1_700_000_000);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,772 @@
+//! The cycle loop: allocation/rename, MGU, select/issue, write-back, commit.
+//!
+//! Stage order within a simulated cycle is write-back → pass-through
+//! watchers → commit → load/store + VPU issue → mask generation →
+//! allocation, so a value written back in cycle *t* can wake a dependent in
+//! the same cycle (full-latency back-to-back), while a newly allocated VFMA
+//! needs one cycle for mask generation before it can enter the combination
+//! window — mirroring the paper's pipeline (Fig 3).
+
+use crate::config::{CoreConfig, SchedulerKind};
+use crate::lsu::Lsu;
+use crate::mgu;
+use crate::rename::{PhysRegFile, RenameTable, ALL_LANES};
+use crate::rob::{Rob, RobKind};
+use crate::rs::{FmaEntry, Rs, RsEntry, NO_FWD};
+use crate::sched;
+use crate::stats::CoreStats;
+use crate::trace::{TraceEvent, Tracer};
+use crate::uop::{crack, FmaPrecision, PhysId, RobId, Uop};
+use crate::vpu::VpuPipeline;
+use save_isa::{Program, VecF32, LANES, NUM_VREGS};
+use save_mem::{CoreMemory, Uncore};
+use std::collections::VecDeque;
+
+/// Result of running a kernel to completion.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOutcome {
+    /// Counters for the run.
+    pub stats: CoreStats,
+    /// `false` if the run hit [`CoreConfig::max_cycles`].
+    pub completed: bool,
+}
+
+impl RunOutcome {
+    /// Wall-clock execution time in seconds at the configured frequency.
+    pub fn seconds(&self, cfg: &CoreConfig) -> f64 {
+        cfg.cycles_to_seconds(self.stats.cycles)
+    }
+}
+
+/// Copies ineffectual-lane values from the accumulator source to the
+/// destination as the source lanes become ready (the rename-level move that
+/// implements lane pass-through and whole-VFMA skipping).
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    src: PhysId,
+    dst: PhysId,
+    remaining: u16,
+}
+
+/// The out-of-order core.
+pub struct Core {
+    cfg: CoreConfig,
+    prf: PhysRegFile,
+    rt: RenameTable,
+    rob: Rob,
+    rs: Rs,
+    vpu: VpuPipeline,
+    lsu: Lsu,
+    watchers: Vec<Watcher>,
+    pend: VecDeque<Uop>,
+    fma_producer: [Option<RobId>; NUM_VREGS],
+    pending_temp: Option<PhysId>,
+    stats: CoreStats,
+    inst_idx: usize,
+    cycle: u64,
+    finished: bool,
+    arch_vregs: [VecF32; NUM_VREGS],
+    uop_commit_limit: Option<u64>,
+    tracer: Option<Box<dyn Tracer>>,
+    last_alloc_rob: RobId,
+    alloc_stalled_until: u64,
+}
+
+impl Core {
+    /// Creates a core in its reset state.
+    pub fn new(cfg: CoreConfig) -> Self {
+        let mut prf = PhysRegFile::new(cfg.phys_regs);
+        let rt = RenameTable::new(&mut prf);
+        Core {
+            prf,
+            rt,
+            rob: Rob::new(cfg.rob_entries),
+            rs: Rs::new(cfg.rs_entries),
+            vpu: VpuPipeline::new(),
+            lsu: Lsu::new(),
+            watchers: Vec::new(),
+            pend: VecDeque::new(),
+            fma_producer: [None; NUM_VREGS],
+            pending_temp: None,
+            stats: CoreStats::default(),
+            inst_idx: 0,
+            cycle: 0,
+            finished: false,
+            arch_vregs: [VecF32::ZERO; NUM_VREGS],
+            uop_commit_limit: None,
+            tracer: None,
+            last_alloc_rob: 0,
+            alloc_stalled_until: 0,
+            cfg,
+        }
+    }
+
+    /// Attaches a pipeline tracer (see [`crate::trace`]). Costs nothing
+    /// when unset.
+    pub fn set_tracer(&mut self, t: Box<dyn Tracer>) {
+        self.tracer = Some(t);
+    }
+
+    fn trace(&mut self, ev: TraceEvent) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.event(&ev);
+        }
+    }
+
+    /// The retired (architecturally committed) vector register state — the
+    /// state a precise exception at the current commit boundary would
+    /// expose (§III, §V-B).
+    pub fn arch_vregs(&self) -> &[VecF32; NUM_VREGS] {
+        &self.arch_vregs
+    }
+
+    /// Runs until exactly `n` µops have committed (or the program drains),
+    /// then returns the precise architectural register state at that commit
+    /// boundary together with the outcome so far. Used by the
+    /// precise-state tests to compare against an in-order reference at
+    /// arbitrary exception points.
+    pub fn run_until_uops(
+        mut self,
+        n: u64,
+        program: &Program,
+        mem: &mut save_isa::Memory,
+        cmem: &mut CoreMemory,
+        uncore: &mut Uncore,
+    ) -> ([VecF32; NUM_VREGS], CoreStats) {
+        cmem.set_freq(self.cfg.freq_ghz);
+        self.uop_commit_limit = Some(n);
+        loop {
+            if let Some(_outcome) = self.step(program, mem, cmem, uncore) {
+                return (self.arch_vregs, self.stats);
+            }
+            if self.stats.uops_committed >= n {
+                return (self.arch_vregs, self.stats);
+            }
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Runs `program` to completion against the functional memory `mem` and
+    /// the timing memory `cmem`/`uncore`. Consumes the core (one run per
+    /// reset state).
+    pub fn run(
+        mut self,
+        program: &Program,
+        mem: &mut save_isa::Memory,
+        cmem: &mut CoreMemory,
+        uncore: &mut Uncore,
+    ) -> RunOutcome {
+        cmem.set_freq(self.cfg.freq_ghz);
+        loop {
+            if let Some(outcome) = self.step(program, mem, cmem, uncore) {
+                return outcome;
+            }
+        }
+    }
+
+    /// `true` once the core has drained the whole program.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Advances the core by one cycle; returns the outcome when the program
+    /// drains (or the cycle limit is hit). The multicore machine in
+    /// `save-sim` interleaves several cores over a shared [`Uncore`] by
+    /// calling this per core per cycle.
+    pub fn step(
+        &mut self,
+        program: &Program,
+        mem: &mut save_isa::Memory,
+        cmem: &mut CoreMemory,
+        uncore: &mut Uncore,
+    ) -> Option<RunOutcome> {
+        if self.finished {
+            return Some(RunOutcome { stats: self.stats, completed: true });
+        }
+        let insts = &program.insts;
+        let mut inst_idx = self.inst_idx;
+        let cycle = self.cycle;
+        {
+            // 1. Write-back.
+            for op in self.vpu.drain_completed(cycle) {
+                for r in &op.results {
+                    self.prf.write_lane(r.dst, r.lane, r.value);
+                }
+            }
+            for ev in self.lsu.drain_completed(cycle) {
+                self.prf.write_all(ev.dst, ev.value);
+            }
+            self.run_watchers();
+
+            // 2. Commit.
+            let mut committed = 0;
+            while committed < self.cfg.commit_width {
+                let done = match self.rob.head() {
+                    None => break,
+                    Some(h) => match h.kind {
+                        RobKind::Flagged => h.done,
+                        RobKind::WaitDst(p) => self.prf.fully_ready(p),
+                    },
+                };
+                if !done {
+                    break;
+                }
+                if let Some(limit) = self.uop_commit_limit {
+                    if self.stats.uops_committed >= limit {
+                        break;
+                    }
+                }
+                let e = self.rob.pop_head().unwrap();
+                if self.tracer.is_some() {
+                    let seq = e.seq as RobId;
+                    self.trace(TraceEvent::Commit { cycle, rob: seq });
+                }
+                if let Some((vreg, phys)) = e.arch_dst {
+                    self.arch_vregs[vreg.index()] = *self.prf.value(phys);
+                }
+                for f in e.frees.into_iter().flatten() {
+                    self.prf.release(f);
+                }
+                self.stats.uops_committed += 1;
+                if !e.fused {
+                    committed += 1;
+                }
+            }
+
+            // 3. Issue: memory first, then VPUs.
+            let stores_done = self.lsu.issue_cycle_bounded(
+                &mut self.rs,
+                &self.prf,
+                mem,
+                cmem,
+                uncore,
+                self.cfg.load_ports,
+                self.cfg.load_buffer,
+                self.cfg.store_ports,
+                self.cfg.freq_ghz,
+                cycle,
+                &mut self.stats,
+            );
+            for r in stores_done {
+                self.rob.mark_done(r);
+            }
+            // Sample the combination window: VFMAs with at least one
+            // schedulable lane this cycle — §III observes 24-28, bounded by
+            // the 32 architectural accumulator registers.
+            if self.cfg.scheduler != SchedulerKind::Baseline {
+                let cw = self
+                    .rs
+                    .iter()
+                    .filter(|e| match e {
+                        RsEntry::Fma(f) => {
+                            sched::sched_mask(f, &self.prf, self.cfg.lane_wise) != 0
+                        }
+                        _ => false,
+                    })
+                    .count() as u64;
+                if cw > 0 {
+                    self.stats.cw_sum += cw;
+                    self.stats.cw_samples += 1;
+                }
+            }
+            let ops = sched::select(&mut self.rs, &self.prf, &self.cfg, cycle, &mut self.stats);
+            if !ops.is_empty() {
+                self.stats.vpu_busy_cycles += 1;
+                for op in ops {
+                    if self.tracer.is_some() {
+                        let mut from: Vec<RobId> =
+                            op.results.iter().map(|r| r.rob).collect();
+                        from.dedup();
+                        let lanes = op.results.len();
+                        self.trace(TraceEvent::VpuIssue { cycle, lanes, from });
+                    }
+                    self.vpu.issue(op);
+                }
+            } else {
+                let has_fma = self.rs.iter().any(|e| matches!(e, RsEntry::Fma(_)));
+                if has_fma {
+                    self.stats.vpu_idle_not_ready += 1;
+                    if std::env::var_os("SAVE_DEBUG_IDLE").is_some()
+                        && self.stats.vpu_idle_not_ready % 97 == 1
+                    {
+                        let mut wait_a = 0;
+                        let mut wait_b = 0;
+                        let mut wait_acc = 0;
+                        let mut wait_elm = 0;
+                        for e in self.rs.iter() {
+                            if let RsEntry::Fma(f) = e {
+                                if !self.prf.fully_ready(f.a) {
+                                    wait_a += 1;
+                                } else if !self.prf.fully_ready(f.b) {
+                                    wait_b += 1;
+                                } else if !f.elm_ready
+                                    && self.cfg.scheduler != SchedulerKind::Baseline
+                                {
+                                    wait_elm += 1;
+                                } else if !self.prf.fully_ready(f.acc_src) {
+                                    wait_acc += 1;
+                                }
+                            }
+                        }
+                        eprintln!(
+                            "cycle {cycle}: idle, rs={} wait_a={wait_a} wait_b={wait_b} wait_elm={wait_elm} wait_acc={wait_acc}",
+                            self.rs.len()
+                        );
+                    }
+                } else {
+                    self.stats.vpu_idle_no_fma += 1;
+                }
+            }
+            // Sweep fully scheduled VFMAs out of the RS (Algorithm 1 lines
+            // 12-14, including whole-VFMA BS skips).
+            self.rs.retain(|e| match e {
+                RsEntry::Fma(f) => !(f.elm_ready && f.elm == 0 && f.ml == 0),
+                _ => true,
+            });
+
+            // 4. Mask generation (SAVE only).
+            if self.cfg.scheduler != SchedulerKind::Baseline {
+                self.run_mgus(cycle);
+                self.rs.retain(|e| match e {
+                    RsEntry::Fma(f) => !(f.elm_ready && f.elm == 0 && f.ml == 0),
+                    _ => true,
+                });
+            }
+
+            // 5. Allocate / rename.
+            let mut slots = if cycle < self.alloc_stalled_until { 0 } else { self.cfg.issue_width };
+            while slots > 0 {
+                while self.pend.len() < self.cfg.issue_width && inst_idx < insts.len() {
+                    let mut buf = Vec::with_capacity(2);
+                    crack(&insts[inst_idx], &mut buf);
+                    inst_idx += 1;
+                    self.pend.extend(buf);
+                }
+                let Some(u) = self.pend.front().copied() else { break };
+                if let Uop::Bubble(n) = u {
+                    // A front-end redirect: fetch restarts after n cycles.
+                    self.alloc_stalled_until = cycle + 1 + n as u64;
+                    self.pend.pop_front();
+                    break;
+                }
+                if !self.try_allocate(&u) {
+                    break;
+                }
+                if self.tracer.is_some() {
+                    let rob = self.last_alloc_rob;
+                    self.trace(TraceEvent::Alloc { cycle, rob, what: format!("{u:?}") });
+                }
+                // An embedded-broadcast load is micro-fused with its VFMA:
+                // the pair moves through allocation as one µop.
+                let fused_free = matches!(u, Uop::Load { dst: None, .. });
+                self.pend.pop_front();
+                if !fused_free {
+                    slots -= 1;
+                }
+            }
+
+        }
+        self.inst_idx = inst_idx;
+        self.cycle = cycle + 1;
+        self.stats.cycles = self.cycle;
+        if self.pend.is_empty() && inst_idx == insts.len() && self.rob.is_empty() {
+            self.finished = true;
+            return Some(RunOutcome { stats: self.stats, completed: true });
+        }
+        if self.cycle >= self.cfg.max_cycles {
+            self.finished = true;
+            return Some(RunOutcome { stats: self.stats, completed: false });
+        }
+        None
+    }
+
+    fn run_watchers(&mut self) {
+        let prf = &mut self.prf;
+        self.watchers.retain_mut(|w| {
+            let avail = prf.ready_mask(w.src) & w.remaining;
+            if avail != 0 {
+                let src_val = *prf.value(w.src);
+                let mut m = avail;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= !(1 << l);
+                    prf.write_lane(w.dst, l, src_val.lane(l));
+                }
+                w.remaining &= !avail;
+            }
+            w.remaining != 0
+        });
+    }
+
+    fn run_mgus(&mut self, cycle: u64) {
+        let mut budget = self.cfg.issue_width;
+        let mut new_watchers: Vec<Watcher> = Vec::new();
+        let mut skips: Vec<RobId> = Vec::new();
+        for e in self.rs.iter_mut() {
+            if budget == 0 {
+                break;
+            }
+            let f = match e {
+                RsEntry::Fma(f) => f,
+                _ => continue,
+            };
+            if f.elm_ready || !self.prf.fully_ready(f.a) || !self.prf.fully_ready(f.b) {
+                continue;
+            }
+            budget -= 1;
+            match f.precision {
+                FmaPrecision::F32 => {
+                    let elm = mgu::elm_f32(self.prf.value(f.a), self.prf.value(f.b), f.wm);
+                    f.elm = elm;
+                    f.orig_elm = elm;
+                }
+                FmaPrecision::Bf16 => {
+                    let (ml, al) = mgu::elm_mp(self.prf.value(f.a), self.prf.value(f.b));
+                    f.ml = ml;
+                    f.orig_ml = ml;
+                    f.elm = al;
+                    f.orig_elm = al;
+                }
+            }
+            f.elm_ready = true;
+            self.stats.lanes_effectual += f.orig_elm.count_ones() as u64;
+            if f.orig_elm == 0 {
+                self.stats.fmas_skipped_bs += 1;
+                skips.push(f.rob);
+            }
+            let passthrough = !f.orig_elm;
+            if passthrough != 0 {
+                new_watchers.push(Watcher {
+                    src: f.acc_src,
+                    dst: f.acc_dst,
+                    remaining: passthrough,
+                });
+            }
+        }
+        self.watchers.extend(new_watchers);
+        if self.tracer.is_some() {
+            for rob in skips {
+                self.trace(TraceEvent::BsSkip { cycle, rob });
+            }
+        }
+        // Newly created watchers may copy already-ready lanes this cycle.
+        self.run_watchers();
+    }
+
+    /// Attempts to allocate one µop; returns `false` on a structural stall.
+    fn try_allocate(&mut self, u: &Uop) -> bool {
+        if self.rob.is_full() {
+            self.stats.alloc_stall_rob += 1;
+            return false;
+        }
+        match *u {
+            Uop::Zero { dst } => {
+                let Some(p) = self.prf.alloc() else {
+                    self.stats.alloc_stall_phys += 1;
+                    return false;
+                };
+                self.prf.write_all(p, VecF32::ZERO);
+                let prev = self.rt.remap(dst, p);
+                self.fma_producer[dst.index()] = None;
+                let id =
+                    self.rob.push_full(RobKind::Flagged, [Some(prev), None], false, Some((dst, p)));
+                self.rob.mark_done(id);
+                self.last_alloc_rob = id;
+            }
+            Uop::SetMask { dst, value } => {
+                self.rt.set_kval(dst, value);
+                let id = self.rob.push(RobKind::Flagged, [None, None]);
+                self.rob.mark_done(id);
+                self.last_alloc_rob = id;
+            }
+            Uop::Scalar => {
+                let id = self.rob.push(RobKind::Flagged, [None, None]);
+                self.rob.mark_done(id);
+                self.last_alloc_rob = id;
+            }
+            Uop::Bubble(_) => unreachable!("bubbles are consumed by the allocation loop"),
+            Uop::Load { dst, addr, value_addr, kind } => {
+                if self.rs.is_full() {
+                    self.stats.alloc_stall_rs += 1;
+                    return false;
+                }
+                let Some(p) = self.prf.alloc() else {
+                    self.stats.alloc_stall_phys += 1;
+                    return false;
+                };
+                let frees = match dst {
+                    Some(r) => {
+                        let prev = self.rt.remap(r, p);
+                        self.fma_producer[r.index()] = None;
+                        [Some(prev), None]
+                    }
+                    None => {
+                        self.pending_temp = Some(p);
+                        [None, None]
+                    }
+                };
+                let fused = dst.is_none();
+                let rob = self.rob.push_full(
+                    RobKind::WaitDst(p),
+                    frees,
+                    fused,
+                    dst.map(|r| (r, p)),
+                );
+                self.last_alloc_rob = rob;
+                self.rs.push(RsEntry::Load(crate::rs::LoadEntry {
+                    rob,
+                    dst: p,
+                    addr,
+                    value_addr,
+                    kind,
+                }));
+            }
+            Uop::Store { src, addr } => {
+                if self.rs.is_full() {
+                    self.stats.alloc_stall_rs += 1;
+                    return false;
+                }
+                let rob = self.rob.push(RobKind::Flagged, [None, None]);
+                self.last_alloc_rob = rob;
+                self.lsu.note_store_alloc(rob, addr);
+                self.rs.push(RsEntry::Store(crate::rs::StoreEntry {
+                    rob,
+                    src: self.rt.lookup(src),
+                    addr,
+                }));
+            }
+            Uop::Fma { precision, acc, a, b, b_is_temp, mask, .. } => {
+                if self.rs.is_full() {
+                    self.stats.alloc_stall_rs += 1;
+                    return false;
+                }
+                if self.prf.free_count() == 0 {
+                    self.stats.alloc_stall_phys += 1;
+                    return false;
+                }
+                let a_phys = self.rt.lookup(a);
+                let (b_phys, temp_free) = if b_is_temp {
+                    let t = self.pending_temp.take().expect("cracked temp must precede its FMA");
+                    (t, Some(t))
+                } else {
+                    (self.rt.lookup(b.expect("register FMA needs b")), None)
+                };
+                let acc_src = self.rt.lookup(acc);
+                let acc_dst = self.prf.alloc().expect("checked free_count above");
+                let prev = self.rt.remap(acc, acc_dst);
+                debug_assert_eq!(prev, acc_src);
+                let chain_pred = self.fma_producer[acc.index()]
+                    .filter(|&p| self.rob.get_mut(p).is_some());
+                let wm = mask.map(|k| self.rt.kval(k)).unwrap_or(ALL_LANES);
+                let rot = if self.cfg.rotate && self.cfg.scheduler == SchedulerKind::Vertical {
+                    acc.rotation_state()
+                } else {
+                    0
+                };
+                let rob = self.rob.push_full(
+                    RobKind::WaitDst(acc_dst),
+                    [Some(prev), temp_free],
+                    false,
+                    Some((acc, acc_dst)),
+                );
+                self.last_alloc_rob = rob;
+                if let Some(p) = chain_pred {
+                    if let Some(pf) = self.rs.find_fma_mut(p) {
+                        pf.chain_succ = Some(rob);
+                    }
+                }
+                self.fma_producer[acc.index()] = Some(rob);
+                self.stats.fma_uops += 1;
+                self.stats.lanes_total += LANES as u64;
+                self.rs.push(RsEntry::Fma(FmaEntry {
+                    rob,
+                    precision,
+                    acc_log: acc,
+                    rot,
+                    acc_src,
+                    acc_dst,
+                    a: a_phys,
+                    b: b_phys,
+                    wm,
+                    elm_ready: false,
+                    elm: 0,
+                    orig_elm: 0,
+                    ml: 0,
+                    orig_ml: 0,
+                    chain_pred,
+                    chain_succ: None,
+                    fwd_base: [0.0; LANES],
+                    fwd_ready: [NO_FWD; LANES],
+                }));
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use save_isa::{Inst, Memory, VOperand, VReg};
+    use save_mem::{MemConfig, WarmLevel};
+
+    fn run_program(cfg: CoreConfig, program: &Program, mem: &mut Memory) -> RunOutcome {
+        let mcfg = MemConfig::default();
+        let mut uncore = Uncore::new(&mcfg, 1);
+        let mut cmem = CoreMemory::new(0, mcfg, cfg.freq_ghz);
+        cmem.warm(&mut uncore, 0, mem.size() as u64, WarmLevel::L1);
+        let core = Core::new(cfg);
+        core.run(program, mem, &mut cmem, &mut uncore)
+    }
+
+    /// acc0 += splat(2.0) * [1..16] twice, then store.
+    fn tiny_fma_program(mem: &mut Memory) -> Program {
+        let b_addr = mem.alloc(64);
+        let s_addr = mem.alloc(64);
+        let out = mem.alloc(64);
+        for i in 0..16 {
+            mem.write_f32(b_addr + 4 * i, (i + 1) as f32);
+        }
+        mem.write_f32(s_addr, 2.0);
+        let mut p = Program::new("tiny");
+        p.push(Inst::Zero { dst: VReg(0) });
+        p.push(Inst::BroadcastLoad { dst: VReg(1), addr: s_addr });
+        p.push(Inst::VecLoad { dst: VReg(2), addr: b_addr });
+        for _ in 0..2 {
+            p.push(Inst::VfmaF32 {
+                acc: VReg(0),
+                a: VOperand::Reg(VReg(1)),
+                b: VOperand::Reg(VReg(2)),
+                mask: None,
+            });
+        }
+        p.push(Inst::VecStore { src: VReg(0), addr: out });
+        p
+    }
+
+    #[test]
+    fn baseline_computes_correct_gemm_fragment() {
+        let mut mem = Memory::new(0);
+        let p = tiny_fma_program(&mut mem);
+        let out = 128; // third allocation
+        let r = run_program(CoreConfig::baseline(), &p, &mut mem);
+        assert!(r.completed);
+        for i in 0..16u64 {
+            assert_eq!(mem.read_f32(out + 4 * i), 2.0 * (i + 1) as f32 * 2.0);
+        }
+        assert_eq!(r.stats.fma_uops, 2);
+        assert_eq!(r.stats.vpu_ops, 2);
+    }
+
+    #[test]
+    fn save_matches_baseline_functionally() {
+        let mut mem_a = Memory::new(0);
+        let p = tiny_fma_program(&mut mem_a);
+        run_program(CoreConfig::baseline(), &p, &mut mem_a);
+        let mut mem_b = Memory::new(0);
+        let p2 = tiny_fma_program(&mut mem_b);
+        run_program(CoreConfig::save_2vpu(), &p2, &mut mem_b);
+        for i in 0..16u64 {
+            assert_eq!(mem_a.read_f32(128 + 4 * i), mem_b.read_f32(128 + 4 * i));
+        }
+    }
+
+    #[test]
+    fn bs_skip_removes_vfma_without_vpu_op() {
+        let mut mem = Memory::new(0);
+        let b_addr = mem.alloc(64);
+        let s_addr = mem.alloc(64);
+        let out = mem.alloc(64);
+        for i in 0..16 {
+            mem.write_f32(b_addr + 4 * i, (i + 1) as f32);
+        }
+        mem.write_f32(s_addr, 0.0); // broadcast zero
+        let mut p = Program::new("bs");
+        p.push(Inst::Zero { dst: VReg(0) });
+        p.push(Inst::BroadcastLoad { dst: VReg(1), addr: s_addr });
+        p.push(Inst::VecLoad { dst: VReg(2), addr: b_addr });
+        p.push(Inst::VfmaF32 {
+            acc: VReg(0),
+            a: VOperand::Reg(VReg(1)),
+            b: VOperand::Reg(VReg(2)),
+            mask: None,
+        });
+        p.push(Inst::VecStore { src: VReg(0), addr: out });
+        let r = run_program(CoreConfig::save_2vpu(), &p, &mut mem);
+        assert!(r.completed);
+        assert_eq!(r.stats.vpu_ops, 0, "BS VFMA must not reach a VPU");
+        assert_eq!(r.stats.fmas_skipped_bs, 1);
+        for i in 0..16u64 {
+            assert_eq!(mem.read_f32(out + 4 * i), 0.0);
+        }
+    }
+
+    #[test]
+    fn write_mask_lanes_pass_through() {
+        let mut mem = Memory::new(0);
+        let b_addr = mem.alloc(64);
+        let s_addr = mem.alloc(64);
+        let out = mem.alloc(64);
+        for i in 0..16 {
+            mem.write_f32(b_addr + 4 * i, 1.0);
+        }
+        mem.write_f32(s_addr, 3.0);
+        let mut p = Program::new("masked");
+        p.push(Inst::Zero { dst: VReg(0) });
+        p.push(Inst::SetMask { dst: save_isa::KReg(1), value: 0x00FF });
+        p.push(Inst::BroadcastLoad { dst: VReg(1), addr: s_addr });
+        p.push(Inst::VecLoad { dst: VReg(2), addr: b_addr });
+        p.push(Inst::VfmaF32 {
+            acc: VReg(0),
+            a: VOperand::Reg(VReg(1)),
+            b: VOperand::Reg(VReg(2)),
+            mask: Some(save_isa::KReg(1)),
+        });
+        p.push(Inst::VecStore { src: VReg(0), addr: out });
+        for cfg in [CoreConfig::baseline(), CoreConfig::save_2vpu()] {
+            let mut m = mem.clone();
+            let r = run_program(cfg, &p, &mut m);
+            assert!(r.completed);
+            for i in 0..16u64 {
+                let expect = if i < 8 { 3.0 } else { 0.0 };
+                assert_eq!(m.read_f32(out + 4 * i), expect, "lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_broadcast_cracks_and_runs() {
+        let mut mem = Memory::new(0);
+        let b_addr = mem.alloc(64);
+        let s_addr = mem.alloc(64);
+        let out = mem.alloc(64);
+        for i in 0..16 {
+            mem.write_f32(b_addr + 4 * i, 2.0);
+        }
+        mem.write_f32(s_addr, 4.0);
+        let mut p = Program::new("embedded");
+        p.push(Inst::Zero { dst: VReg(0) });
+        p.push(Inst::VecLoad { dst: VReg(2), addr: b_addr });
+        p.push(Inst::VfmaF32 {
+            acc: VReg(0),
+            a: VOperand::Reg(VReg(2)),
+            b: VOperand::MemBcast(s_addr),
+            mask: None,
+        });
+        p.push(Inst::VecStore { src: VReg(0), addr: out });
+        let r = run_program(CoreConfig::save_2vpu(), &p, &mut mem);
+        assert!(r.completed);
+        assert_eq!(mem.read_f32(out), 8.0);
+        // Load µop + FMA µop + others all committed.
+        assert!(r.stats.uops_committed >= 5);
+    }
+}

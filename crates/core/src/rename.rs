@@ -1,0 +1,201 @@
+//! Register renaming: physical vector register file with per-lane readiness.
+//!
+//! SAVE adopts a vector register file "where each lane of a vector register
+//! can be accessed independently" (§III), and the lane-wise dependence
+//! scheme (§IV-C) needs per-lane readiness. We therefore track a 16-bit
+//! ready mask per physical register; a register is *fully* ready when all
+//! 16 bits are set.
+
+use crate::uop::PhysId;
+use save_isa::{VecF32, LANES, NUM_KREGS, NUM_VREGS};
+
+/// Mask value with every lane ready.
+pub const ALL_LANES: u16 = u16::MAX;
+
+/// The physical vector register file.
+#[derive(Clone, Debug)]
+pub struct PhysRegFile {
+    vals: Vec<VecF32>,
+    lane_ready: Vec<u16>,
+    free: Vec<PhysId>,
+}
+
+impl PhysRegFile {
+    /// Creates a file with `n` registers, all free.
+    ///
+    /// # Panics
+    /// Panics if `n` is smaller than the architectural register count.
+    pub fn new(n: usize) -> Self {
+        assert!(n > NUM_VREGS, "physical file must exceed architectural registers");
+        PhysRegFile {
+            vals: vec![VecF32::ZERO; n],
+            lane_ready: vec![0; n],
+            free: (0..n as PhysId).rev().collect(),
+        }
+    }
+
+    /// Allocates a register (lanes initially not-ready). `None` when the
+    /// free list is exhausted (the allocator stalls).
+    pub fn alloc(&mut self) -> Option<PhysId> {
+        let id = self.free.pop()?;
+        self.lane_ready[id as usize] = 0;
+        self.vals[id as usize] = VecF32::ZERO;
+        Some(id)
+    }
+
+    /// Returns a register to the free list.
+    pub fn release(&mut self, id: PhysId) {
+        debug_assert!(!self.free.contains(&id), "double free of p{id}");
+        self.free.push(id);
+    }
+
+    /// Free registers remaining.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Current value (lanes that are not ready read as garbage-in-progress;
+    /// the schedulers only read ready lanes).
+    pub fn value(&self, id: PhysId) -> &VecF32 {
+        &self.vals[id as usize]
+    }
+
+    /// Writes one lane and marks it ready.
+    pub fn write_lane(&mut self, id: PhysId, lane: usize, v: f32) {
+        self.vals[id as usize].set_lane(lane, v);
+        self.lane_ready[id as usize] |= 1 << lane;
+    }
+
+    /// Writes the full vector and marks every lane ready.
+    pub fn write_all(&mut self, id: PhysId, v: VecF32) {
+        self.vals[id as usize] = v;
+        self.lane_ready[id as usize] = ALL_LANES;
+    }
+
+    /// Per-lane ready mask.
+    pub fn ready_mask(&self, id: PhysId) -> u16 {
+        self.lane_ready[id as usize]
+    }
+
+    /// `true` when all 16 lanes are ready.
+    pub fn fully_ready(&self, id: PhysId) -> bool {
+        self.lane_ready[id as usize] == ALL_LANES
+    }
+
+    /// `true` when lane `lane` is ready.
+    pub fn lane_ready(&self, id: PhysId, lane: usize) -> bool {
+        self.lane_ready[id as usize] >> lane & 1 == 1
+    }
+}
+
+/// Architectural-to-physical mapping plus the write-mask register values
+/// (mask setup executes at rename with an immediate, so mask values are
+/// architecturally in-order here).
+#[derive(Clone, Debug)]
+pub struct RenameTable {
+    vmap: [PhysId; NUM_VREGS],
+    kvals: [u16; NUM_KREGS],
+}
+
+impl RenameTable {
+    /// Creates the initial mapping, allocating one ready zero-valued
+    /// physical register per architectural register.
+    pub fn new(prf: &mut PhysRegFile) -> Self {
+        let mut vmap = [0; NUM_VREGS];
+        for slot in vmap.iter_mut() {
+            let id = prf.alloc().expect("initial rename allocation");
+            prf.write_all(id, VecF32::ZERO);
+            *slot = id;
+        }
+        RenameTable { vmap, kvals: [ALL_LANES; NUM_KREGS] }
+    }
+
+    /// Current physical register of architectural `r`.
+    pub fn lookup(&self, r: save_isa::VReg) -> PhysId {
+        self.vmap[r.index()]
+    }
+
+    /// Redirects architectural `r` to `new`, returning the previous mapping
+    /// (freed when the renaming µop commits).
+    pub fn remap(&mut self, r: save_isa::VReg, new: PhysId) -> PhysId {
+        std::mem::replace(&mut self.vmap[r.index()], new)
+    }
+
+    /// Current value of write-mask register `k`.
+    pub fn kval(&self, k: save_isa::KReg) -> u16 {
+        self.kvals[k.index()]
+    }
+
+    /// Sets write-mask register `k` (executed at rename).
+    pub fn set_kval(&mut self, k: save_isa::KReg, v: u16) {
+        self.kvals[k.index()] = v;
+    }
+}
+
+/// Sanity helper: the number of lanes as a mask width.
+pub const fn lanes() -> usize {
+    LANES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use save_isa::{KReg, VReg};
+
+    #[test]
+    fn alloc_and_release_cycle() {
+        let mut prf = PhysRegFile::new(40);
+        let before = prf.free_count();
+        let id = prf.alloc().unwrap();
+        assert_eq!(prf.free_count(), before - 1);
+        assert!(!prf.fully_ready(id));
+        prf.release(id);
+        assert_eq!(prf.free_count(), before);
+    }
+
+    #[test]
+    fn lane_writes_accumulate_readiness() {
+        let mut prf = PhysRegFile::new(40);
+        let id = prf.alloc().unwrap();
+        prf.write_lane(id, 0, 1.0);
+        prf.write_lane(id, 15, 2.0);
+        assert!(prf.lane_ready(id, 0));
+        assert!(prf.lane_ready(id, 15));
+        assert!(!prf.lane_ready(id, 7));
+        assert!(!prf.fully_ready(id));
+        assert_eq!(prf.value(id).lane(15), 2.0);
+        for l in 0..LANES {
+            prf.write_lane(id, l, 0.0);
+        }
+        assert!(prf.fully_ready(id));
+    }
+
+    #[test]
+    fn rename_table_initializes_ready_zeroes() {
+        let mut prf = PhysRegFile::new(64);
+        let rt = RenameTable::new(&mut prf);
+        let p = rt.lookup(VReg(5));
+        assert!(prf.fully_ready(p));
+        assert_eq!(*prf.value(p), VecF32::ZERO);
+    }
+
+    #[test]
+    fn remap_returns_previous() {
+        let mut prf = PhysRegFile::new(64);
+        let mut rt = RenameTable::new(&mut prf);
+        let old = rt.lookup(VReg(3));
+        let new = prf.alloc().unwrap();
+        let prev = rt.remap(VReg(3), new);
+        assert_eq!(prev, old);
+        assert_eq!(rt.lookup(VReg(3)), new);
+    }
+
+    #[test]
+    fn kvals_default_full_and_settable() {
+        let mut prf = PhysRegFile::new(64);
+        let mut rt = RenameTable::new(&mut prf);
+        assert_eq!(rt.kval(KReg(0)), ALL_LANES);
+        rt.set_kval(KReg(2), 0b1010);
+        assert_eq!(rt.kval(KReg(2)), 0b1010);
+    }
+}

@@ -1,0 +1,260 @@
+//! The unified reservation station.
+//!
+//! All in-flight, un-issued µops wait here (Table I: 97 entries shared by
+//! loads, stores and VFMAs). SAVE's Combination Window is exactly the set of
+//! ready VFMAs present in these entries at a given cycle (§III).
+
+use crate::rename::PhysRegFile;
+use crate::uop::{FmaPrecision, LoadKind, PhysId, RobId};
+use save_isa::{VReg, LANES};
+
+/// Sentinel: no forwarded base pending.
+pub const NO_FWD: u64 = u64::MAX;
+
+/// A VFMA waiting (fully or partially) in the RS.
+#[derive(Clone, Debug)]
+pub struct FmaEntry {
+    /// ROB id (doubles as program-order sequence).
+    pub rob: RobId,
+    /// Precision of the operation.
+    pub precision: FmaPrecision,
+    /// Logical accumulator register (rotation state derives from it, §IV-B).
+    pub acc_log: VReg,
+    /// Rotation amount in lanes: -1, 0 or +1 (0 when rotation is disabled).
+    pub rot: i8,
+    /// Accumulator source physical register.
+    pub acc_src: PhysId,
+    /// Accumulator destination physical register.
+    pub acc_dst: PhysId,
+    /// Multiplicand A physical register.
+    pub a: PhysId,
+    /// Multiplicand B physical register.
+    pub b: PhysId,
+    /// Write-mask value captured at rename (all-ones when unmasked).
+    pub wm: u16,
+    /// Whether the Effectual Lane Mask has been generated yet.
+    pub elm_ready: bool,
+    /// Remaining unscheduled effectual lanes (accumulator lanes for MP).
+    pub elm: u16,
+    /// The ELM as generated (before any lanes were scheduled).
+    pub orig_elm: u16,
+    /// Remaining unscheduled effectual multiplicand lanes (MP only).
+    pub ml: u32,
+    /// The multiplicand-lane mask as generated.
+    pub orig_ml: u32,
+    /// ROB id of the previous in-flight FMA producing this accumulator
+    /// (the chain predecessor), if still in flight at rename.
+    pub chain_pred: Option<RobId>,
+    /// ROB id of the next FMA in the chain, filled in when it renames.
+    pub chain_succ: Option<RobId>,
+    /// Forwarded partial accumulator per AL (MP compression, §V-B).
+    pub fwd_base: [f32; LANES],
+    /// Cycle from which the forwarded partial is usable; [`NO_FWD`] if none.
+    pub fwd_ready: [u64; LANES],
+}
+
+impl FmaEntry {
+    /// `true` once multiplicand/mask operands are available and the ELM has
+    /// been generated — the entry is then in the Combination Window (its
+    /// accumulator dependence is checked separately per dependence scheme).
+    pub fn in_window(&self, prf: &PhysRegFile) -> bool {
+        self.elm_ready && prf.fully_ready(self.a) && prf.fully_ready(self.b)
+    }
+
+    /// Logical lane that sits at rotated position `pos` (§IV-B: operands of
+    /// an entry with rotation `r` are shifted right by `r` lanes, so
+    /// position `pos` holds logical lane `pos - r`).
+    pub fn logical_lane(&self, pos: usize) -> usize {
+        (pos as i32 - self.rot as i32).rem_euclid(LANES as i32) as usize
+    }
+
+    /// Multiplicand-lane bits of accumulator lane `al` still unscheduled.
+    pub fn ml_bits_at(&self, al: usize) -> u32 {
+        self.ml >> (2 * al) & 0b11
+    }
+}
+
+/// A load waiting in the RS (address-ready at allocation; waits for a port).
+#[derive(Clone, Copy, Debug)]
+pub struct LoadEntry {
+    /// ROB id.
+    pub rob: RobId,
+    /// Destination physical register.
+    pub dst: PhysId,
+    /// Byte address (timing: what the caches and DRAM see).
+    pub addr: u64,
+    /// Byte address the functional value is read from.
+    pub value_addr: u64,
+    /// Vector or broadcast.
+    pub kind: LoadKind,
+}
+
+/// A store waiting in the RS (waits for its data register).
+#[derive(Clone, Copy, Debug)]
+pub struct StoreEntry {
+    /// ROB id.
+    pub rob: RobId,
+    /// Source physical register.
+    pub src: PhysId,
+    /// Byte address.
+    pub addr: u64,
+}
+
+/// One RS slot.
+///
+/// The variant sizes intentionally differ: a hardware RS entry is sized for
+/// the largest µop anyway, and the station is a small fixed-capacity array.
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum RsEntry {
+    /// A VFMA.
+    Fma(FmaEntry),
+    /// A load.
+    Load(LoadEntry),
+    /// A store.
+    Store(StoreEntry),
+}
+
+impl RsEntry {
+    /// The entry's ROB id.
+    pub fn rob(&self) -> RobId {
+        match self {
+            RsEntry::Fma(f) => f.rob,
+            RsEntry::Load(l) => l.rob,
+            RsEntry::Store(s) => s.rob,
+        }
+    }
+}
+
+/// The reservation station: bounded, kept in program order.
+#[derive(Clone, Debug, Default)]
+pub struct Rs {
+    entries: Vec<RsEntry>,
+    capacity: usize,
+}
+
+impl Rs {
+    /// Creates an empty RS of `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Rs { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the RS holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when allocation must stall.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Inserts an entry (program order is insertion order).
+    ///
+    /// # Panics
+    /// Panics on overflow — callers must check [`Rs::is_full`].
+    pub fn push(&mut self, e: RsEntry) {
+        assert!(!self.is_full(), "RS overflow");
+        self.entries.push(e);
+    }
+
+    /// Iterates entries oldest-first.
+    pub fn iter(&self) -> std::slice::Iter<'_, RsEntry> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration oldest-first.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, RsEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Direct slice access for index-based scheduling.
+    pub fn entries_mut(&mut self) -> &mut [RsEntry] {
+        &mut self.entries
+    }
+
+    /// Shared slice access for index-based inspection.
+    pub fn entries(&self) -> &[RsEntry] {
+        &self.entries
+    }
+
+    /// Finds the FMA entry with ROB id `rob`.
+    pub fn find_fma_mut(&mut self, rob: RobId) -> Option<&mut FmaEntry> {
+        self.entries.iter_mut().find_map(|e| match e {
+            RsEntry::Fma(f) if f.rob == rob => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Removes entries matching the predicate (issued / fully scheduled).
+    pub fn retain(&mut self, keep: impl FnMut(&RsEntry) -> bool) {
+        self.entries.retain(keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fma(rob: RobId, rot: i8) -> FmaEntry {
+        FmaEntry {
+            rob,
+            precision: FmaPrecision::F32,
+            acc_log: VReg(0),
+            rot,
+            acc_src: 0,
+            acc_dst: 1,
+            a: 2,
+            b: 3,
+            wm: u16::MAX,
+            elm_ready: false,
+            elm: 0,
+            orig_elm: 0,
+            ml: 0,
+            orig_ml: 0,
+            chain_pred: None,
+            chain_succ: None,
+            fwd_base: [0.0; LANES],
+            fwd_ready: [NO_FWD; LANES],
+        }
+    }
+
+    #[test]
+    fn rotation_lane_mapping() {
+        let e = fma(0, 1); // rotated right by one: logical lane 0 sits at pos 1
+        assert_eq!(e.logical_lane(1), 0);
+        assert_eq!(e.logical_lane(0), 15);
+        let e = fma(0, -1);
+        assert_eq!(e.logical_lane(15), 0);
+        let e = fma(0, 0);
+        assert_eq!(e.logical_lane(7), 7);
+    }
+
+    #[test]
+    fn ml_bits_extraction() {
+        let mut e = fma(0, 0);
+        e.ml = 0b10_01; // AL0: ML0 only; AL1: ML3 only
+        assert_eq!(e.ml_bits_at(0), 0b01);
+        assert_eq!(e.ml_bits_at(1), 0b10);
+        assert_eq!(e.ml_bits_at(2), 0);
+    }
+
+    #[test]
+    fn rs_capacity_and_order() {
+        let mut rs = Rs::new(2);
+        rs.push(RsEntry::Fma(fma(0, 0)));
+        rs.push(RsEntry::Fma(fma(1, 0)));
+        assert!(rs.is_full());
+        let robs: Vec<_> = rs.iter().map(|e| e.rob()).collect();
+        assert_eq!(robs, vec![0, 1]);
+        rs.retain(|e| e.rob() != 0);
+        assert_eq!(rs.len(), 1);
+        assert!(rs.find_fma_mut(1).is_some());
+        assert!(rs.find_fma_mut(0).is_none());
+    }
+}

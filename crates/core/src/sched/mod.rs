@@ -1,0 +1,92 @@
+//! VPU select logic: baseline, SAVE vertical coalescing (with rotation and
+//! lane-wise dependence), horizontal compression, and the mixed-precision
+//! multiplicand-lane compression.
+//!
+//! Each scheduler consumes ready [`crate::rs::FmaEntry`]s from the
+//! reservation station and produces at most one compacted
+//! [`crate::vpu::VpuOp`] per VPU per cycle. Functional lane values are
+//! computed at select time (operand lanes are proven ready) and written back
+//! at completion.
+
+pub mod baseline;
+pub mod horizontal;
+pub mod mixed;
+pub mod vertical;
+
+use crate::config::{CoreConfig, SchedulerKind};
+use crate::rename::PhysRegFile;
+use crate::rs::{FmaEntry, Rs, RsEntry};
+use crate::stats::CoreStats;
+use crate::uop::FmaPrecision;
+use crate::vpu::VpuOp;
+
+/// Runs the configured select logic for one cycle.
+pub fn select(
+    rs: &mut Rs,
+    prf: &PhysRegFile,
+    cfg: &CoreConfig,
+    cycle: u64,
+    stats: &mut CoreStats,
+) -> Vec<VpuOp> {
+    match cfg.scheduler {
+        SchedulerKind::Baseline => baseline::select(rs, prf, cfg, cycle, stats),
+        SchedulerKind::Vertical => {
+            // A cycle's temps are homogeneous in precision; follow the
+            // oldest entry that is in the combination window.
+            match oldest_window_precision(rs, prf) {
+                Some(FmaPrecision::Bf16) if cfg.mp_compress => {
+                    mixed::select(rs, prf, cfg, cycle, stats)
+                }
+                _ => vertical::select(rs, prf, cfg, cycle, stats),
+            }
+        }
+        SchedulerKind::Horizontal => horizontal::select(rs, prf, cfg, cycle, stats),
+    }
+}
+
+/// Precision of the oldest VFMA currently in the combination window.
+pub(crate) fn oldest_window_precision(rs: &Rs, prf: &PhysRegFile) -> Option<FmaPrecision> {
+    rs.iter().find_map(|e| match e {
+        RsEntry::Fma(f) if f.in_window(prf) => Some(f.precision),
+        _ => None,
+    })
+}
+
+/// Lanes of `e` that may be scheduled this cycle under the configured
+/// accumulator-dependence scheme: the unscheduled effectual lanes whose
+/// accumulator-source lane is available (§IV-C).
+pub(crate) fn sched_mask(e: &FmaEntry, prf: &PhysRegFile, lane_wise: bool) -> u16 {
+    if !e.in_window(prf) {
+        return 0;
+    }
+    if lane_wise {
+        e.elm & prf.ready_mask(e.acc_src)
+    } else if prf.fully_ready(e.acc_src) {
+        e.elm
+    } else {
+        0
+    }
+}
+
+/// FP32 lane result: `c + a*b` with fused rounding.
+pub(crate) fn lane_value_f32(e: &FmaEntry, prf: &PhysRegFile, lane: usize) -> f32 {
+    let a = prf.value(e.a).lane(lane);
+    let b = prf.value(e.b).lane(lane);
+    let c = prf.value(e.acc_src).lane(lane);
+    a.mul_add(b, c)
+}
+
+/// Mixed-precision AL result: two chained MACs over the AL's effectual MLs
+/// in ML order (paper Fig 2), starting from `base`.
+pub(crate) fn al_value_mp(e: &FmaEntry, prf: &PhysRegFile, al: usize, ml_bits: u32, base: f32) -> f32 {
+    let av = prf.value(e.a).as_bf16();
+    let bv = prf.value(e.b).as_bf16();
+    let mut acc = base;
+    for half in 0..2usize {
+        if ml_bits >> half & 1 == 1 {
+            let m = 2 * al + half;
+            acc = av.lane(m).to_f32().mul_add(bv.lane(m).to_f32(), acc);
+        }
+    }
+    acc
+}

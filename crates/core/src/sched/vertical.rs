@@ -1,0 +1,117 @@
+//! Vertical coalescing — Algorithm 1 of the paper, with the rotate (§IV-B)
+//! and lane-wise dependence (§IV-C) extensions.
+//!
+//! Per temp lane position, the select logic picks the oldest ready VFMA with
+//! an unscheduled effectual lane in that (rotated) position; with `N` VPUs it
+//! picks up to `N` entries per position. Elements never move across lanes
+//! (that is horizontal compression's job), so per-lane accumulation order is
+//! program order and FP32 results are bit-exact with sequential execution.
+//!
+//! Mixed-precision VFMAs are handled here at accumulator-lane granularity
+//! when the MP compression technique is disabled: an AL issues as a unit
+//! (both effectual MLs), so sparsity exploitation is limited to ALs whose
+//! MLs are *all* ineffectual (the Fig 9 effect; Fig 19 quantifies the loss).
+
+use crate::config::CoreConfig;
+use crate::rename::PhysRegFile;
+use crate::rs::{Rs, RsEntry};
+use crate::stats::CoreStats;
+use crate::uop::FmaPrecision;
+use crate::vpu::{LaneResult, VpuOp};
+use save_isa::LANES;
+
+/// One lane-assignment produced by the select loop.
+struct Pick {
+    entry_idx: usize,
+    lane: usize,
+}
+
+/// Runs one cycle of vertical coalescing.
+pub fn select(
+    rs: &mut Rs,
+    prf: &PhysRegFile,
+    cfg: &CoreConfig,
+    cycle: u64,
+    stats: &mut CoreStats,
+) -> Vec<VpuOp> {
+    // Gather candidates oldest-first with their current schedulable masks.
+    let precision = match super::oldest_window_precision(rs, prf) {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+    let mut cand: Vec<(usize, u16)> = Vec::new();
+    for (i, e) in rs.iter().enumerate() {
+        if let RsEntry::Fma(f) = e {
+            if f.precision != precision {
+                continue;
+            }
+            let m = super::sched_mask(f, prf, cfg.lane_wise);
+            if m != 0 {
+                cand.push((i, m));
+            }
+        }
+    }
+    if cand.is_empty() {
+        return Vec::new();
+    }
+
+    // Algorithm 1: per lane position, assign the first N candidates with an
+    // unscheduled effectual lane there to the N temps.
+    let nv = cfg.num_vpus;
+    let mut temps: Vec<Vec<Pick>> = (0..nv).map(|_| Vec::new()).collect();
+    let mut temp_filled: Vec<u16> = vec![0; nv];
+    let entries = rs.entries_mut();
+    for pos in 0..LANES {
+        let mut v = 0;
+        for (idx, mask) in cand.iter_mut() {
+            if v == nv {
+                break;
+            }
+            let f = match &entries[*idx] {
+                RsEntry::Fma(f) => f,
+                _ => unreachable!(),
+            };
+            let lane = f.logical_lane(pos);
+            if *mask >> lane & 1 == 0 {
+                continue;
+            }
+            *mask &= !(1 << lane);
+            temps[v].push(Pick { entry_idx: *idx, lane });
+            temp_filled[v] |= 1 << pos;
+            v += 1;
+        }
+    }
+
+    // Build the compacted VPU ops, computing values and consuming ELM bits.
+    let latency = match precision {
+        FmaPrecision::F32 => cfg.fp32_fma_cycles,
+        FmaPrecision::Bf16 => cfg.mp_fma_cycles,
+    };
+    let mut ops = Vec::new();
+    for temp in temps.into_iter().filter(|t| !t.is_empty()) {
+        let mut results = Vec::with_capacity(temp.len());
+        for p in temp {
+            let f = match &mut entries[p.entry_idx] {
+                RsEntry::Fma(f) => f,
+                _ => unreachable!(),
+            };
+            let value = match precision {
+                FmaPrecision::F32 => super::lane_value_f32(f, prf, p.lane),
+                FmaPrecision::Bf16 => {
+                    let bits = f.ml_bits_at(p.lane);
+                    let base = prf.value(f.acc_src).lane(p.lane);
+                    let v = super::al_value_mp(f, prf, p.lane, bits, base);
+                    f.ml &= !(0b11 << (2 * p.lane));
+                    stats.mp_mls_issued += bits.count_ones() as u64;
+                    v
+                }
+            };
+            f.elm &= !(1 << p.lane);
+            results.push(LaneResult { rob: f.rob, dst: f.acc_dst, lane: p.lane, value });
+        }
+        stats.vpu_ops += 1;
+        stats.lanes_issued += results.len() as u64;
+        ops.push(VpuOp { complete_at: cycle + latency, results });
+    }
+    ops
+}

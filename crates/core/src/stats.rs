@@ -1,0 +1,132 @@
+//! Execution statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters collected over one kernel run.
+#[derive(Clone, Copy, Default, Debug, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// µops committed.
+    pub uops_committed: u64,
+    /// VFMA µops committed.
+    pub fma_uops: u64,
+    /// Compacted VPU operations actually issued (the quantity SAVE reduces).
+    pub vpu_ops: u64,
+    /// Temp lanes filled across all issued VPU operations.
+    pub lanes_issued: u64,
+    /// Effectual lanes over all VFMAs as determined by the MGUs.
+    pub lanes_effectual: u64,
+    /// Total lanes over all VFMAs (`fma_uops * 16`).
+    pub lanes_total: u64,
+    /// VFMAs skipped entirely due to broadcasted sparsity (empty ELM).
+    pub fmas_skipped_bs: u64,
+    /// Mixed-precision multiplicand lanes consumed by compacted ops.
+    pub mp_mls_issued: u64,
+    /// Allocation stalls due to a full ROB.
+    pub alloc_stall_rob: u64,
+    /// Allocation stalls due to a full RS.
+    pub alloc_stall_rs: u64,
+    /// Allocation stalls due to physical-register exhaustion.
+    pub alloc_stall_phys: u64,
+    /// Loads issued to the memory system.
+    pub loads_issued: u64,
+    /// Stores issued.
+    pub stores_issued: u64,
+    /// Broadcast loads issued.
+    pub bcast_loads: u64,
+    /// Broadcast loads served (fully or partially) by the B$.
+    pub bcast_hits: u64,
+    /// Cycles in which at least one VPU op issued.
+    pub vpu_busy_cycles: u64,
+    /// Idle VPU cycles with no VFMA in the reservation station at all.
+    pub vpu_idle_no_fma: u64,
+    /// Idle VPU cycles with VFMAs present but none ready (operands or
+    /// accumulator dependences outstanding).
+    pub vpu_idle_not_ready: u64,
+    /// Sum of per-cycle combination-window sizes (ready VFMAs in the RS),
+    /// sampled on cycles where at least one VFMA was present.
+    pub cw_sum: u64,
+    /// Number of cycles sampled for the combination window.
+    pub cw_samples: u64,
+}
+
+impl CoreStats {
+    /// Committed µops per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.uops_committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean temp-lane occupancy of issued VPU ops (out of 16).
+    pub fn mean_lanes_per_op(&self) -> f64 {
+        if self.vpu_ops == 0 {
+            0.0
+        } else {
+            self.lanes_issued as f64 / self.vpu_ops as f64
+        }
+    }
+
+    /// Fraction of VFMA lanes that were effectual.
+    pub fn effectual_fraction(&self) -> f64 {
+        if self.lanes_total == 0 {
+            0.0
+        } else {
+            self.lanes_effectual as f64 / self.lanes_total as f64
+        }
+    }
+
+    /// Mean combination-window size over the run — the paper observes CWs
+    /// of 24-28 for large GEMMs with 32 ISA registers (§III).
+    pub fn mean_cw(&self) -> f64 {
+        if self.cw_samples == 0 {
+            0.0
+        } else {
+            self.cw_sum as f64 / self.cw_samples as f64
+        }
+    }
+
+    /// VPU-operation reduction relative to one op per VFMA.
+    pub fn compaction_ratio(&self) -> f64 {
+        if self.vpu_ops == 0 {
+            0.0
+        } else {
+            self.fma_uops as f64 / self.vpu_ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = CoreStats {
+            cycles: 100,
+            uops_committed: 250,
+            fma_uops: 100,
+            vpu_ops: 50,
+            lanes_issued: 400,
+            lanes_effectual: 400,
+            lanes_total: 1600,
+            ..CoreStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.mean_lanes_per_op() - 8.0).abs() < 1e-12);
+        assert!((s.effectual_fraction() - 0.25).abs() < 1e-12);
+        assert!((s.compaction_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let s = CoreStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mean_lanes_per_op(), 0.0);
+        assert_eq!(s.effectual_fraction(), 0.0);
+        assert_eq!(s.compaction_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Pipeline tracing: a structured per-event stream of what the back end
+//! does each cycle, for debugging kernels and for teaching what SAVE's
+//! coalescing actually schedules.
+//!
+//! Tracing is opt-in via [`crate::Core::set_tracer`] and costs nothing when
+//! absent. Events are compact and self-describing; [`TextTracer`] renders
+//! them one per line.
+
+use crate::uop::RobId;
+use std::io::Write;
+
+/// One pipeline event.
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// A µop was allocated/renamed into the ROB.
+    Alloc {
+        /// Cycle number.
+        cycle: u64,
+        /// ROB id assigned.
+        rob: RobId,
+        /// Compact µop description.
+        what: String,
+    },
+    /// A compacted VPU operation issued.
+    VpuIssue {
+        /// Cycle number.
+        cycle: u64,
+        /// Temp lanes filled.
+        lanes: usize,
+        /// ROB ids contributing lanes (deduplicated, program order).
+        from: Vec<RobId>,
+    },
+    /// A whole VFMA was skipped for broadcasted sparsity (empty ELM).
+    BsSkip {
+        /// Cycle number.
+        cycle: u64,
+        /// The skipped VFMA's ROB id.
+        rob: RobId,
+    },
+    /// A µop committed (retired).
+    Commit {
+        /// Cycle number.
+        cycle: u64,
+        /// ROB id.
+        rob: RobId,
+    },
+}
+
+/// A consumer of trace events.
+pub trait Tracer {
+    /// Receives one event.
+    fn event(&mut self, ev: &TraceEvent);
+}
+
+/// Renders events as text lines to any writer.
+pub struct TextTracer<W: Write> {
+    out: W,
+}
+
+impl<W: Write> TextTracer<W> {
+    /// Creates a text tracer over `out`.
+    pub fn new(out: W) -> Self {
+        TextTracer { out }
+    }
+
+    /// Recovers the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Tracer for TextTracer<W> {
+    fn event(&mut self, ev: &TraceEvent) {
+        let _ = match ev {
+            TraceEvent::Alloc { cycle, rob, what } => {
+                writeln!(self.out, "[{cycle:>6}] alloc  rob{rob:<4} {what}")
+            }
+            TraceEvent::VpuIssue { cycle, lanes, from } => {
+                writeln!(self.out, "[{cycle:>6}] vpu    {lanes:>2} lanes from {from:?}")
+            }
+            TraceEvent::BsSkip { cycle, rob } => {
+                writeln!(self.out, "[{cycle:>6}] bskip  rob{rob} (broadcasted zero)")
+            }
+            TraceEvent::Commit { cycle, rob } => {
+                writeln!(self.out, "[{cycle:>6}] commit rob{rob}")
+            }
+        };
+    }
+}
+
+/// A tracer that counts events, for tests.
+#[derive(Default, Debug)]
+pub struct CountingTracer {
+    /// Allocations seen.
+    pub allocs: u64,
+    /// VPU issues seen.
+    pub vpu_issues: u64,
+    /// BS skips seen.
+    pub bs_skips: u64,
+    /// Commits seen.
+    pub commits: u64,
+}
+
+impl Tracer for CountingTracer {
+    fn event(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Alloc { .. } => self.allocs += 1,
+            TraceEvent::VpuIssue { .. } => self.vpu_issues += 1,
+            TraceEvent::BsSkip { .. } => self.bs_skips += 1,
+            TraceEvent::Commit { .. } => self.commits += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_tracer_formats_events() {
+        let mut t = TextTracer::new(Vec::new());
+        t.event(&TraceEvent::Alloc { cycle: 3, rob: 7, what: "fma zmm0".into() });
+        t.event(&TraceEvent::VpuIssue { cycle: 5, lanes: 12, from: vec![7, 8] });
+        t.event(&TraceEvent::BsSkip { cycle: 6, rob: 9 });
+        t.event(&TraceEvent::Commit { cycle: 9, rob: 7 });
+        let s = String::from_utf8(t.into_inner()).unwrap();
+        assert!(s.contains("alloc  rob7"));
+        assert!(s.contains("12 lanes from [7, 8]"));
+        assert!(s.contains("bskip  rob9"));
+        assert!(s.contains("commit rob7"));
+    }
+
+    #[test]
+    fn counting_tracer_counts() {
+        let mut t = CountingTracer::default();
+        t.event(&TraceEvent::Alloc { cycle: 0, rob: 0, what: String::new() });
+        t.event(&TraceEvent::Commit { cycle: 0, rob: 0 });
+        t.event(&TraceEvent::Commit { cycle: 1, rob: 1 });
+        assert_eq!(t.allocs, 1);
+        assert_eq!(t.commits, 2);
+    }
+}

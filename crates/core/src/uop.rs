@@ -1,0 +1,288 @@
+//! Cracked micro-operations.
+//!
+//! The front end cracks ISA instructions ([`save_isa::Inst`]) into µops the
+//! back-end structures operate on, like x86 µop cracking: a VFMA with a
+//! memory operand becomes a (load µop, FMA µop) pair sharing a freshly
+//! allocated physical register with no architectural name.
+
+use save_isa::{Inst, KReg, VOperand, VReg};
+
+/// Identifier of a physical vector register.
+pub type PhysId = u32;
+
+/// Identifier of a ROB entry slot.
+pub type RobId = usize;
+
+/// The precision of an FMA µop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FmaPrecision {
+    /// 16-lane FP32 `vfmadd231ps`.
+    F32,
+    /// Mixed-precision `vdpbf16ps`: 32 BF16 MLs onto 16 FP32 ALs.
+    Bf16,
+}
+
+/// The kind of load a load µop performs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoadKind {
+    /// 64-byte vector load.
+    Vector,
+    /// 4-byte broadcast (explicit `vbroadcastss` or the load half of an
+    /// embedded-broadcast VFMA).
+    Broadcast,
+}
+
+/// A µop after cracking, with *logical* register names; renaming happens at
+/// allocation inside the core.
+#[derive(Clone, Copy, Debug)]
+pub enum Uop {
+    /// Load from memory into a destination.
+    Load {
+        /// Architectural destination, or `None` for a cracked temp (the
+        /// consuming FMA references the physical register directly).
+        dst: Option<VReg>,
+        /// Byte address the timing model sees (the compressed image for
+        /// ZCOMP-style loads).
+        addr: u64,
+        /// Byte address the values are read from (equals `addr` for normal
+        /// loads).
+        value_addr: u64,
+        /// Vector or broadcast.
+        kind: LoadKind,
+    },
+    /// Store a register to memory.
+    Store {
+        /// Architectural source register.
+        src: VReg,
+        /// Byte address.
+        addr: u64,
+    },
+    /// FMA µop; `a`/`b` register operands may be architectural or the temp
+    /// produced by the preceding cracked load (marked by `b_is_temp`).
+    Fma {
+        /// Precision.
+        precision: FmaPrecision,
+        /// Accumulator (source and destination).
+        acc: VReg,
+        /// Multiplicand A (always a register after cracking).
+        a: VReg,
+        /// Multiplicand B register, unless it comes from the cracked load.
+        b: Option<VReg>,
+        /// `true` when B is the temp register of the preceding cracked load.
+        b_is_temp: bool,
+        /// Whether the cracked load (if any) is a broadcast.
+        temp_kind: Option<LoadKind>,
+        /// Memory address of the cracked operand (if any).
+        temp_addr: Option<u64>,
+        /// Optional write mask.
+        mask: Option<KReg>,
+    },
+    /// Zero idiom — eliminated at rename (zero-cycle), like `vxorps z,z,z`.
+    Zero {
+        /// Architectural destination.
+        dst: VReg,
+    },
+    /// Write-mask setup — executes at rename with an immediate.
+    SetMask {
+        /// Destination mask register.
+        dst: KReg,
+        /// Immediate value.
+        value: u16,
+    },
+    /// Scalar loop-overhead µop (1-cycle, completes at allocation + 1).
+    Scalar,
+    /// Front-end redirect bubble: stalls allocation for the given cycles
+    /// (no ROB entry — it models fetch starvation, not an instruction).
+    Bubble(u8),
+}
+
+/// Cracks one ISA instruction into 1 or 2 µops, pushed onto `out`.
+///
+/// Cracking follows x86: `BroadcastLoad`/`VecLoad`/`VecStore` are single
+/// µops; a VFMA with a memory operand becomes load + FMA. We only support a
+/// memory operand in position `b` (which is how the kernel generators emit
+/// them); a memory operand in `a` is normalized to `b` since FMA
+/// multiplication commutes.
+pub fn crack(inst: &Inst, out: &mut Vec<Uop>) {
+    match *inst {
+        Inst::Zero { dst } => out.push(Uop::Zero { dst }),
+        Inst::SetMask { dst, value } => out.push(Uop::SetMask { dst, value }),
+        Inst::ScalarOp => out.push(Uop::Scalar),
+        Inst::FrontEndBubble { cycles } => out.push(Uop::Bubble(cycles)),
+        Inst::BroadcastLoad { dst, addr } => out.push(Uop::Load {
+            dst: Some(dst),
+            addr,
+            value_addr: addr,
+            kind: LoadKind::Broadcast,
+        }),
+        Inst::VecLoad { dst, addr } => out.push(Uop::Load {
+            dst: Some(dst),
+            addr,
+            value_addr: addr,
+            kind: LoadKind::Vector,
+        }),
+        Inst::CompressedVecLoad { dst, addr, timing_addr } => out.push(Uop::Load {
+            dst: Some(dst),
+            addr: timing_addr,
+            value_addr: addr,
+            kind: LoadKind::Vector,
+        }),
+        Inst::VecStore { src, addr } => out.push(Uop::Store { src, addr }),
+        Inst::VfmaF32 { acc, a, b, mask } => crack_fma(FmaPrecision::F32, acc, a, b, mask, out),
+        Inst::VdpBf16 { acc, a, b } => crack_fma(FmaPrecision::Bf16, acc, a, b, None, out),
+    }
+}
+
+fn crack_fma(
+    precision: FmaPrecision,
+    acc: VReg,
+    a: VOperand,
+    b: VOperand,
+    mask: Option<KReg>,
+    out: &mut Vec<Uop>,
+) {
+    // Normalize: memory operand (if any) in position b.
+    let (a, b) = match (a, b) {
+        (VOperand::Reg(_), _) => (a, b),
+        (_, VOperand::Reg(_)) => (b, a),
+        _ => panic!("a VFMA may have at most one memory operand"),
+    };
+    let a_reg = match a {
+        VOperand::Reg(r) => r,
+        _ => unreachable!(),
+    };
+    match b {
+        VOperand::Reg(r) => out.push(Uop::Fma {
+            precision,
+            acc,
+            a: a_reg,
+            b: Some(r),
+            b_is_temp: false,
+            temp_kind: None,
+            temp_addr: None,
+            mask,
+        }),
+        VOperand::MemBcast(addr) => {
+            out.push(Uop::Load { dst: None, addr, value_addr: addr, kind: LoadKind::Broadcast });
+            out.push(Uop::Fma {
+                precision,
+                acc,
+                a: a_reg,
+                b: None,
+                b_is_temp: true,
+                temp_kind: Some(LoadKind::Broadcast),
+                temp_addr: Some(addr),
+                mask,
+            });
+        }
+        VOperand::MemVec(addr) => {
+            out.push(Uop::Load { dst: None, addr, value_addr: addr, kind: LoadKind::Vector });
+            out.push(Uop::Fma {
+                precision,
+                acc,
+                a: a_reg,
+                b: None,
+                b_is_temp: true,
+                temp_kind: Some(LoadKind::Vector),
+                temp_addr: Some(addr),
+                mask,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_fma_is_one_uop() {
+        let mut out = Vec::new();
+        crack(
+            &Inst::VfmaF32 {
+                acc: VReg(0),
+                a: VOperand::Reg(VReg(1)),
+                b: VOperand::Reg(VReg(2)),
+                mask: None,
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], Uop::Fma { b: Some(VReg(2)), b_is_temp: false, .. }));
+    }
+
+    #[test]
+    fn embedded_broadcast_cracks_into_two_uops() {
+        let mut out = Vec::new();
+        crack(
+            &Inst::VfmaF32 {
+                acc: VReg(0),
+                a: VOperand::Reg(VReg(1)),
+                b: VOperand::MemBcast(256),
+                mask: None,
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 2);
+        assert!(matches!(
+            out[0],
+            Uop::Load { dst: None, addr: 256, kind: LoadKind::Broadcast, .. }
+        ));
+        assert!(matches!(
+            out[1],
+            Uop::Fma { b: None, b_is_temp: true, temp_kind: Some(LoadKind::Broadcast), .. }
+        ));
+    }
+
+    #[test]
+    fn memory_operand_in_a_is_normalized() {
+        let mut out = Vec::new();
+        crack(
+            &Inst::VfmaF32 {
+                acc: VReg(0),
+                a: VOperand::MemVec(128),
+                b: VOperand::Reg(VReg(3)),
+                mask: None,
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[1], Uop::Fma { a: VReg(3), b_is_temp: true, .. }));
+    }
+
+    #[test]
+    fn compressed_load_cracks_with_split_addresses() {
+        let mut out = Vec::new();
+        crack(&Inst::CompressedVecLoad { dst: VReg(4), addr: 1024, timing_addr: 64 }, &mut out);
+        assert_eq!(out.len(), 1);
+        match out[0] {
+            Uop::Load { dst: Some(VReg(4)), addr, value_addr, kind: LoadKind::Vector } => {
+                assert_eq!(addr, 64, "timing side sees the compressed image");
+                assert_eq!(value_addr, 1024, "values come from the uncompressed copy");
+            }
+            ref other => panic!("unexpected µop {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bubble_cracks_to_bubble_uop() {
+        let mut out = Vec::new();
+        crack(&Inst::FrontEndBubble { cycles: 15 }, &mut out);
+        assert!(matches!(out[0], Uop::Bubble(15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one memory operand")]
+    fn two_memory_operands_panic() {
+        let mut out = Vec::new();
+        crack(
+            &Inst::VfmaF32 {
+                acc: VReg(0),
+                a: VOperand::MemVec(0),
+                b: VOperand::MemBcast(64),
+                mask: None,
+            },
+            &mut out,
+        );
+    }
+}

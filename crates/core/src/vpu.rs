@@ -1,0 +1,87 @@
+//! VPU execution pipeline: in-flight compacted operations.
+//!
+//! Functional results are computed at issue (operand lanes are guaranteed
+//! ready by the select logic); this module only delays their architectural
+//! write-back by the pipeline latency. SAVE keeps per-lane source-µop
+//! bookkeeping while an op is in flight (§III, Table II models its cost);
+//! here that bookkeeping *is* the [`LaneResult`] list.
+
+use crate::uop::{PhysId, RobId};
+
+/// One lane's worth of result carried by an in-flight VPU op.
+#[derive(Clone, Copy, Debug)]
+pub struct LaneResult {
+    /// ROB entry of the owning VFMA.
+    pub rob: RobId,
+    /// Destination physical register.
+    pub dst: PhysId,
+    /// Logical lane index to write.
+    pub lane: usize,
+    /// The value.
+    pub value: f32,
+}
+
+/// An issued, in-flight compacted VPU operation.
+#[derive(Clone, Debug)]
+pub struct VpuOp {
+    /// Cycle at which results become architecturally visible.
+    pub complete_at: u64,
+    /// Lane write-backs this op performs.
+    pub results: Vec<LaneResult>,
+}
+
+/// All in-flight VPU operations (across the core's VPUs — port contention
+/// is enforced at select time, so the pipeline itself is just a completion
+/// queue).
+#[derive(Clone, Debug, Default)]
+pub struct VpuPipeline {
+    inflight: Vec<VpuOp>,
+}
+
+impl VpuPipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues an issued op.
+    pub fn issue(&mut self, op: VpuOp) {
+        self.inflight.push(op);
+    }
+
+    /// Removes and returns every op completing at or before `cycle`.
+    pub fn drain_completed(&mut self, cycle: u64) -> Vec<VpuOp> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].complete_at <= cycle {
+                done.push(self.inflight.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// Ops still executing.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_in_latency_order() {
+        let mut p = VpuPipeline::new();
+        p.issue(VpuOp { complete_at: 5, results: vec![] });
+        p.issue(VpuOp { complete_at: 3, results: vec![] });
+        assert_eq!(p.in_flight(), 2);
+        assert_eq!(p.drain_completed(2).len(), 0);
+        assert_eq!(p.drain_completed(3).len(), 1);
+        assert_eq!(p.drain_completed(10).len(), 1);
+        assert_eq!(p.in_flight(), 0);
+    }
+}

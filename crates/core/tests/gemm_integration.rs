@@ -1,0 +1,213 @@
+//! End-to-end integration: generated GEMM kernels through the full core +
+//! memory model, verified against the functional reference.
+
+use save_core::{Core, CoreConfig, SchedulerKind};
+use save_kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision, RegionRole};
+use save_mem::{CoreMemory, MemConfig, Uncore, WarmLevel};
+
+fn run(w: &GemmWorkload, cfg: CoreConfig, seed: u64) -> (save_core::core::RunOutcome, bool) {
+    let mut built = w.build(seed);
+    let mcfg = MemConfig::default();
+    let mut uncore = Uncore::new(&mcfg, 1);
+    let mut cmem = CoreMemory::new(0, mcfg, cfg.freq_ghz);
+    for r in &built.regions {
+        if r.role == RegionRole::BroadcastInput {
+            cmem.warm(&mut uncore, r.base, r.bytes, WarmLevel::L3);
+        }
+    }
+    let core = Core::new(cfg);
+    let out = core.run(&built.program, &mut built.mem, &mut cmem, &mut uncore);
+    let ok = built.verify().is_ok();
+    if let Err((i, got, want)) = built.verify() {
+        eprintln!("mismatch at {i}: got {got} want {want}");
+    }
+    (out, ok)
+}
+
+fn spec(m: usize, n: usize, pat: BroadcastPattern, prec: Precision) -> GemmKernelSpec {
+    GemmKernelSpec { m_tiles: m, n_vecs: n, pattern: pat, precision: prec }
+}
+
+fn all_configs() -> Vec<(&'static str, CoreConfig)> {
+    vec![
+        ("baseline", CoreConfig::baseline()),
+        ("save2", CoreConfig::save_2vpu()),
+        ("save1", CoreConfig::save_1vpu()),
+        ("vc-only", CoreConfig { rotate: false, lane_wise: false, ..CoreConfig::save_2vpu() }),
+        ("rvc", CoreConfig { rotate: true, lane_wise: false, ..CoreConfig::save_2vpu() }),
+        ("vc+lwd", CoreConfig { rotate: false, lane_wise: true, ..CoreConfig::save_2vpu() }),
+        (
+            "hc",
+            CoreConfig {
+                scheduler: SchedulerKind::Horizontal,
+                rotate: false,
+                ..CoreConfig::save_2vpu()
+            },
+        ),
+        ("mp-nocompress", CoreConfig { mp_compress: false, ..CoreConfig::save_2vpu() }),
+    ]
+}
+
+#[test]
+fn every_scheduler_computes_correct_f32_explicit_gemm() {
+    let w = GemmWorkload::dense("it", spec(4, 3, BroadcastPattern::Explicit, Precision::F32), 32, 2)
+        .with_sparsity(0.4, 0.5);
+    for (name, cfg) in all_configs() {
+        let (out, ok) = run(&w, cfg, 11);
+        assert!(out.completed, "{name} did not complete");
+        assert!(ok, "{name} produced wrong results");
+    }
+}
+
+#[test]
+fn every_scheduler_computes_correct_f32_embedded_gemm() {
+    let w = GemmWorkload::dense("it", spec(7, 3, BroadcastPattern::Embedded, Precision::F32), 32, 2)
+        .with_sparsity(0.3, 0.6);
+    for (name, cfg) in all_configs() {
+        let (out, ok) = run(&w, cfg, 13);
+        assert!(out.completed, "{name} did not complete");
+        assert!(ok, "{name} produced wrong results");
+    }
+}
+
+#[test]
+fn every_scheduler_computes_correct_mixed_gemm() {
+    let w = GemmWorkload::dense("it", spec(4, 2, BroadcastPattern::Explicit, Precision::Mixed), 32, 2)
+        .with_sparsity(0.5, 0.5);
+    for (name, cfg) in all_configs() {
+        let (out, ok) = run(&w, cfg, 17);
+        assert!(out.completed, "{name} did not complete");
+        assert!(ok, "{name} produced wrong results");
+    }
+}
+
+#[test]
+fn mixed_embedded_gemm_is_correct() {
+    let w = GemmWorkload::dense("it", spec(6, 2, BroadcastPattern::Embedded, Precision::Mixed), 32, 2)
+        .with_sparsity(0.4, 0.4);
+    for (name, cfg) in [("save2", CoreConfig::save_2vpu()), ("baseline", CoreConfig::baseline())] {
+        let (out, ok) = run(&w, cfg, 19);
+        assert!(out.completed, "{name} did not complete");
+        assert!(ok, "{name} produced wrong results");
+    }
+}
+
+#[test]
+fn write_masked_gemm_is_correct_and_skips_lanes() {
+    let w = GemmWorkload {
+        use_write_masks: true,
+        ..GemmWorkload::dense("wm", spec(4, 2, BroadcastPattern::Explicit, Precision::F32), 32, 2)
+    }
+    .with_sparsity(0.0, 0.5);
+    let mut w = w;
+    w.use_write_masks = true;
+    let (out_base, ok_base) = run(&w, CoreConfig::baseline(), 23);
+    let (out_save, ok_save) = run(&w, CoreConfig::save_2vpu(), 23);
+    assert!(ok_base && ok_save);
+    assert!(
+        out_save.stats.vpu_ops < out_base.stats.vpu_ops,
+        "mask-driven sparsity must reduce VPU ops: {} vs {}",
+        out_save.stats.vpu_ops,
+        out_base.stats.vpu_ops
+    );
+}
+
+#[test]
+fn baseline_dense_sustains_near_two_fmas_per_cycle() {
+    let w = GemmWorkload::dense("dense", spec(6, 4, BroadcastPattern::Explicit, Precision::F32), 64, 4);
+    let (out, ok) = run(&w, CoreConfig::baseline(), 29);
+    assert!(ok);
+    let fma_per_cycle = out.stats.vpu_ops as f64 / out.stats.cycles as f64;
+    assert!(
+        fma_per_cycle > 1.6,
+        "compute-bound dense GEMM should keep both VPUs busy, got {fma_per_cycle:.2}"
+    );
+}
+
+#[test]
+fn save_speedup_grows_with_nbs() {
+    let base_w =
+        GemmWorkload::dense("nbs", spec(7, 3, BroadcastPattern::Explicit, Precision::F32), 64, 3);
+    let (dense_out, _) = run(&base_w, CoreConfig::save_2vpu(), 31);
+    let (sparse_out, _) = run(&base_w.clone().with_sparsity(0.0, 0.7), CoreConfig::save_2vpu(), 31);
+    assert!(
+        sparse_out.stats.cycles < dense_out.stats.cycles,
+        "70% NBS must run faster than dense: {} vs {}",
+        sparse_out.stats.cycles,
+        dense_out.stats.cycles
+    );
+    let (base_sparse, _) = run(&base_w.with_sparsity(0.0, 0.7), CoreConfig::baseline(), 31);
+    let speedup = base_sparse.stats.cycles as f64 / sparse_out.stats.cycles as f64;
+    assert!(speedup > 1.2, "SAVE speedup at 70% NBS too low: {speedup:.2}");
+}
+
+#[test]
+fn bs_skips_whole_vfmas() {
+    let w = GemmWorkload::dense("bs", spec(7, 3, BroadcastPattern::Explicit, Precision::F32), 64, 3)
+        .with_sparsity(0.6, 0.0);
+    let (out, ok) = run(&w, CoreConfig::save_2vpu(), 37);
+    assert!(ok);
+    assert!(
+        out.stats.fmas_skipped_bs as f64 > 0.5 * w.fma_count() as f64,
+        "~60% of VFMAs should be BS-skipped, got {} of {}",
+        out.stats.fmas_skipped_bs,
+        w.fma_count()
+    );
+    let (base, _) = run(&w, CoreConfig::baseline(), 37);
+    assert!(base.stats.cycles > out.stats.cycles);
+}
+
+#[test]
+fn one_vpu_slower_when_dense_faster_when_sparse() {
+    let w = GemmWorkload::dense("vpus", spec(6, 4, BroadcastPattern::Explicit, Precision::F32), 64, 3);
+    // Dense: 1 VPU at 2.1 GHz must lose to 2 VPUs at 1.7 GHz (paper: 29%
+    // slowdown at 0% sparsity).
+    let (d2, _) = run(&w, CoreConfig::save_2vpu(), 41);
+    let (d1, _) = run(&w, CoreConfig::save_1vpu(), 41);
+    let t2 = d2.stats.cycles as f64 / 1.7;
+    let t1 = d1.stats.cycles as f64 / 2.1;
+    assert!(t1 > t2, "dense: 1 VPU should be slower in wall-clock ({t1:.0} vs {t2:.0})");
+    // Highly sparse: 1 VPU at higher frequency should win.
+    let ws = w.with_sparsity(0.5, 0.6);
+    let (s2, _) = run(&ws, CoreConfig::save_2vpu(), 43);
+    let (s1, _) = run(&ws, CoreConfig::save_1vpu(), 43);
+    let t2 = s2.stats.cycles as f64 / 1.7;
+    let t1 = s1.stats.cycles as f64 / 2.1;
+    assert!(t1 < t2, "sparse: 1 VPU should win in wall-clock ({t1:.0} vs {t2:.0})");
+}
+
+#[test]
+fn rotation_unblocks_register_reuse_imbalance() {
+    // 28 accumulators, n_vecs = 1: every VFMA in a k-step shares the same B
+    // register, so plain VC has an effective CW of 1 (Fig 18a).
+    let w = GemmWorkload::dense("rot", spec(28, 1, BroadcastPattern::Embedded, Precision::F32), 64, 2)
+        .with_sparsity(0.0, 0.5);
+    let vc = CoreConfig { rotate: false, lane_wise: false, ..CoreConfig::save_2vpu() };
+    let rvc = CoreConfig { rotate: true, lane_wise: false, ..CoreConfig::save_2vpu() };
+    let (out_vc, ok1) = run(&w, vc, 47);
+    let (out_rvc, ok2) = run(&w, rvc, 47);
+    assert!(ok1 && ok2);
+    assert!(
+        out_rvc.stats.cycles < out_vc.stats.cycles,
+        "rotation must help under register reuse: RVC {} vs VC {}",
+        out_rvc.stats.cycles,
+        out_vc.stats.cycles
+    );
+}
+
+#[test]
+fn mp_compression_beats_al_granularity() {
+    let w = GemmWorkload::dense("mp", spec(7, 3, BroadcastPattern::Explicit, Precision::Mixed), 64, 3)
+        .with_sparsity(0.0, 0.6);
+    let with = CoreConfig { mp_compress: true, ..CoreConfig::save_1vpu() };
+    let without = CoreConfig { mp_compress: false, ..CoreConfig::save_1vpu() };
+    let (out_with, ok1) = run(&w, with, 53);
+    let (out_without, ok2) = run(&w, without, 53);
+    assert!(ok1 && ok2);
+    assert!(
+        out_with.stats.cycles < out_without.stats.cycles,
+        "ML compression must exploit intra-AL sparsity: {} vs {}",
+        out_with.stats.cycles,
+        out_without.stats.cycles
+    );
+}

@@ -1,0 +1,146 @@
+//! Directed reproduction of the paper's Fig 10/11 scenario: a chain of
+//! mixed-precision VFMAs accumulating into the *same* register, with
+//! partially ineffectual multiplicand lanes. SAVE's ML compression combines
+//! MLs from different instructions into one VPU op, yet every intermediate
+//! instruction's renamed destination must receive its architecturally
+//! correct value ("Properly Writing Back Results", §V-B) — we make each
+//! intermediate value observable by storing the accumulator between VFMAs.
+
+use save_core::{Core, CoreConfig};
+use save_isa::{Bf16, Inst, Memory, Program, VOperand, VReg, VecBf16, LANES, ML_LANES};
+use save_mem::{CoreMemory, MemConfig, Uncore, WarmLevel};
+
+/// Builds the Fig 11 pattern: three VDPBF16PS into C0 where I1 has only
+/// ML0-of-each-AL effectual, I2 has both, I3 has only ML1. Returns
+/// (program, memory, store addresses, expected per-instruction values).
+fn build_chain() -> (Program, Memory, [u64; 3], [Vec<f32>; 3]) {
+    let mut mem = Memory::new(0);
+    let a_base = mem.alloc(3 * 64);
+    let b_base = mem.alloc(3 * 64);
+    let out = [mem.alloc(64), mem.alloc(64), mem.alloc(64)];
+
+    // Multiplicand patterns per instruction: (a-even, a-odd) BF16 values.
+    let patterns: [(f32, f32); 3] = [(2.0, 0.0), (1.5, -1.0), (0.0, 3.0)];
+    let bvals: [(f32, f32); 3] = [(0.5, 4.0), (2.0, 1.0), (7.0, -0.5)];
+    for (i, ((ae, ao), (be, bo))) in patterns.iter().zip(bvals.iter()).enumerate() {
+        let mut al = [Bf16::ZERO; ML_LANES];
+        let mut bl = [Bf16::ZERO; ML_LANES];
+        for j in 0..LANES {
+            al[2 * j] = Bf16::from_f32(*ae);
+            al[2 * j + 1] = Bf16::from_f32(*ao);
+            bl[2 * j] = Bf16::from_f32(*be);
+            bl[2 * j + 1] = Bf16::from_f32(*bo);
+        }
+        mem.write_vec_bf16(a_base + 64 * i as u64, VecBf16::from_lanes(al));
+        mem.write_vec_bf16(b_base + 64 * i as u64, VecBf16::from_lanes(bl));
+    }
+
+    // Expected running values after each instruction (per AL; identical
+    // across lanes by construction), in strict program order per Fig 2.
+    let mut run = 0.0f32;
+    let mut expected: [Vec<f32>; 3] = [vec![], vec![], vec![]];
+    for (i, ((ae, ao), (be, bo))) in patterns.iter().zip(bvals.iter()).enumerate() {
+        run = ae.mul_add(*be, run);
+        run = ao.mul_add(*bo, run);
+        expected[i] = vec![run; LANES];
+    }
+
+    let mut p = Program::new("fig11 chain");
+    p.push(Inst::Zero { dst: VReg(0) });
+    for i in 0..3u64 {
+        p.push(Inst::VecLoad { dst: VReg(1), addr: a_base + 64 * i });
+        p.push(Inst::VecLoad { dst: VReg(2), addr: b_base + 64 * i });
+        p.push(Inst::VdpBf16 {
+            acc: VReg(0),
+            a: VOperand::Reg(VReg(1)),
+            b: VOperand::Reg(VReg(2)),
+        });
+        // Capture this instruction's architectural result.
+        p.push(Inst::VecStore { src: VReg(0), addr: out[i as usize] });
+    }
+    (p, mem, out, expected)
+}
+
+fn run_chain(cfg: CoreConfig) {
+    let (p, mut mem, out, expected) = build_chain();
+    let mcfg = MemConfig::default();
+    let mut uncore = Uncore::new(&mcfg, 1);
+    let mut cmem = CoreMemory::new(0, mcfg, cfg.freq_ghz);
+    cmem.warm(&mut uncore, 0, mem.size() as u64, WarmLevel::L1);
+    let r = Core::new(cfg).run(&p, &mut mem, &mut cmem, &mut uncore);
+    assert!(r.completed);
+    for (i, exp) in expected.iter().enumerate() {
+        for (lane, &e) in exp.iter().enumerate() {
+            let got = mem.read_f32(out[i] + 4 * lane as u64);
+            assert_eq!(got, e, "instruction {} lane {lane}", i + 1);
+        }
+    }
+}
+
+#[test]
+fn intermediate_destinations_correct_with_ml_compression() {
+    run_chain(CoreConfig { mp_compress: true, ..CoreConfig::save_2vpu() });
+}
+
+#[test]
+fn intermediate_destinations_correct_without_ml_compression() {
+    run_chain(CoreConfig { mp_compress: false, ..CoreConfig::save_2vpu() });
+}
+
+#[test]
+fn intermediate_destinations_correct_on_baseline() {
+    run_chain(CoreConfig::baseline());
+}
+
+#[test]
+fn intermediate_destinations_correct_with_one_vpu_and_rotation() {
+    run_chain(CoreConfig::save_1vpu());
+}
+
+#[test]
+fn compression_reduces_vpu_ops_on_the_chain() {
+    // Without stores in between (no serialization), a longer chain with
+    // half-effectual ALs must need fewer VPU ops under ML compression.
+    let build = |_| {
+        let mut mem = Memory::new(0);
+        let a_base = mem.alloc(64);
+        let b_base = mem.alloc(64);
+        let mut al = [Bf16::ZERO; ML_LANES];
+        let bl = [Bf16::from_f32(1.0); ML_LANES];
+        for j in 0..LANES {
+            al[2 * j] = Bf16::from_f32(1.0); // only even MLs effectual
+        }
+        mem.write_vec_bf16(a_base, VecBf16::from_lanes(al));
+        mem.write_vec_bf16(b_base, VecBf16::from_lanes(bl));
+        let mut p = Program::new("chain");
+        p.push(Inst::Zero { dst: VReg(0) });
+        p.push(Inst::VecLoad { dst: VReg(1), addr: a_base });
+        p.push(Inst::VecLoad { dst: VReg(2), addr: b_base });
+        for _ in 0..16 {
+            p.push(Inst::VdpBf16 {
+                acc: VReg(0),
+                a: VOperand::Reg(VReg(1)),
+                b: VOperand::Reg(VReg(2)),
+            });
+        }
+        (p, mem)
+    };
+    let run = |compress: bool| {
+        let cfg = CoreConfig { mp_compress: compress, ..CoreConfig::save_2vpu() };
+        let (p, mut mem) = build(());
+        let mcfg = MemConfig::default();
+        let mut uncore = Uncore::new(&mcfg, 1);
+        let mut cmem = CoreMemory::new(0, mcfg, cfg.freq_ghz);
+        cmem.warm(&mut uncore, 0, mem.size() as u64, WarmLevel::L1);
+        let r = Core::new(cfg).run(&p, &mut mem, &mut cmem, &mut uncore);
+        assert!(r.completed);
+        // Functional check: every AL accumulated 16 * 1.0.
+        r.stats.vpu_ops
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        with < without,
+        "ML compression should fuse chain MLs: {with} vs {without} VPU ops"
+    );
+}

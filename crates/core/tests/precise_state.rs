@@ -1,0 +1,229 @@
+//! Precise architectural state: the paper's SAVE design goes to some
+//! length to keep coalescing compatible with precise exceptions (§III) and
+//! to write back correct intermediate destinations under ML compression
+//! (§V-B). These tests stop the out-of-order core at arbitrary µop-commit
+//! boundaries and compare the retired register state against an in-order
+//! reference interpreter — the state a precise exception would expose.
+
+use proptest::prelude::*;
+use save_core::{Core, CoreConfig, SchedulerKind};
+use save_isa::{Inst, Memory, Program, VOperand, VecF32, LANES, NUM_VREGS};
+use save_kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision};
+use save_mem::{CoreMemory, MemConfig, Uncore, WarmLevel};
+
+/// In-order reference: executes the first `n_uops` cracked µops of
+/// `program` and returns the architectural vector registers.
+fn reference_exec(program: &Program, mem: &Memory, n_uops: u64) -> [VecF32; NUM_VREGS] {
+    let mut mem = mem.clone();
+    let mut v = [VecF32::ZERO; NUM_VREGS];
+    let mut k = [u16::MAX; 8];
+    #[allow(unused_assignments, unused_mut)]
+    let mut temp = VecF32::ZERO;
+    let mut done = 0u64;
+    let budget = |done: &mut u64| {
+        *done += 1;
+        *done <= n_uops
+    };
+    for inst in program.iter() {
+        match *inst {
+            Inst::Zero { dst } => {
+                if !budget(&mut done) {
+                    break;
+                }
+                v[dst.index()] = VecF32::ZERO;
+            }
+            Inst::SetMask { dst, value } => {
+                if !budget(&mut done) {
+                    break;
+                }
+                k[dst.index()] = value;
+            }
+            Inst::ScalarOp => {
+                if !budget(&mut done) {
+                    break;
+                }
+            }
+            Inst::FrontEndBubble { .. } => {} // no architectural effect, no µop
+            Inst::BroadcastLoad { dst, addr } => {
+                if !budget(&mut done) {
+                    break;
+                }
+                v[dst.index()] = mem.read_bcast_f32(addr);
+            }
+            Inst::VecLoad { dst, addr } | Inst::CompressedVecLoad { dst, addr, .. } => {
+                if !budget(&mut done) {
+                    break;
+                }
+                v[dst.index()] = mem.read_vec_f32(addr);
+            }
+            Inst::VecStore { src, addr } => {
+                if !budget(&mut done) {
+                    break;
+                }
+                mem.write_vec_f32(addr, v[src.index()]);
+            }
+            Inst::VfmaF32 { acc, a, b, mask } => {
+                // Memory operands crack into a load µop first.
+                let (av, bv) = match (a, b) {
+                    (VOperand::Reg(ra), VOperand::Reg(rb)) => (v[ra.index()], v[rb.index()]),
+                    (VOperand::Reg(ra), VOperand::MemBcast(addr)) => {
+                        if !budget(&mut done) {
+                            break;
+                        }
+                        temp = mem.read_bcast_f32(addr);
+                        (v[ra.index()], temp)
+                    }
+                    (VOperand::Reg(ra), VOperand::MemVec(addr)) => {
+                        if !budget(&mut done) {
+                            break;
+                        }
+                        temp = mem.read_vec_f32(addr);
+                        (v[ra.index()], temp)
+                    }
+                    (VOperand::MemBcast(addr), VOperand::Reg(rb)) => {
+                        if !budget(&mut done) {
+                            break;
+                        }
+                        temp = mem.read_bcast_f32(addr);
+                        (v[rb.index()], temp)
+                    }
+                    (VOperand::MemVec(addr), VOperand::Reg(rb)) => {
+                        if !budget(&mut done) {
+                            break;
+                        }
+                        temp = mem.read_vec_f32(addr);
+                        (v[rb.index()], temp)
+                    }
+                    _ => panic!("two memory operands"),
+                };
+                if !budget(&mut done) {
+                    break;
+                }
+                let wm = mask.map(|m| k[m.index()]).unwrap_or(u16::MAX);
+                let mut out = v[acc.index()];
+                for l in 0..LANES {
+                    if wm >> l & 1 == 1 {
+                        out.set_lane(l, av.lane(l).mul_add(bv.lane(l), out.lane(l)));
+                    }
+                }
+                v[acc.index()] = out;
+            }
+            Inst::VdpBf16 { acc, a, b } => {
+                let (av, bv) = match (a, b) {
+                    (VOperand::Reg(ra), VOperand::Reg(rb)) => (v[ra.index()], v[rb.index()]),
+                    (VOperand::Reg(ra), VOperand::MemBcast(addr)) => {
+                        if !budget(&mut done) {
+                            break;
+                        }
+                        temp = mem.read_bcast_f32(addr);
+                        (v[ra.index()], temp)
+                    }
+                    (VOperand::MemBcast(addr), VOperand::Reg(rb)) => {
+                        if !budget(&mut done) {
+                            break;
+                        }
+                        temp = mem.read_bcast_f32(addr);
+                        (v[rb.index()], temp)
+                    }
+                    _ => panic!("unsupported MP operand combination"),
+                };
+                if !budget(&mut done) {
+                    break;
+                }
+                let ab = av.as_bf16();
+                let bb = bv.as_bf16();
+                let mut out = v[acc.index()];
+                for l in 0..LANES {
+                    let mut c = out.lane(l);
+                    c = ab.lane(2 * l).to_f32().mul_add(bb.lane(2 * l).to_f32(), c);
+                    c = ab.lane(2 * l + 1).to_f32().mul_add(bb.lane(2 * l + 1).to_f32(), c);
+                    out.set_lane(l, c);
+                }
+                v[acc.index()] = out;
+            }
+        }
+        if done >= n_uops {
+            break;
+        }
+    }
+    v
+}
+
+fn check_precise(w: &GemmWorkload, cfg: CoreConfig, seed: u64, n_uops: u64) {
+    let mut built = w.build(seed);
+    let reference = reference_exec(&built.program, &built.mem, n_uops);
+    let mcfg = MemConfig::default();
+    let mut uncore = Uncore::new(&mcfg, 1);
+    let mut cmem = CoreMemory::new(0, mcfg, cfg.freq_ghz);
+    cmem.warm(&mut uncore, 0, 0, WarmLevel::L3);
+    let (arch, stats) =
+        Core::new(cfg).run_until_uops(n_uops, &built.program, &mut built.mem, &mut cmem, &mut uncore);
+    assert!(stats.uops_committed >= n_uops.min(stats.uops_committed));
+    for (r, (got, want)) in arch.iter().zip(reference.iter()).enumerate() {
+        for l in 0..LANES {
+            assert_eq!(
+                got.lane(l),
+                want.lane(l),
+                "zmm{r} lane {l} at commit boundary {n_uops} ({})",
+                w.name
+            );
+        }
+    }
+}
+
+fn workload(pattern: BroadcastPattern, precision: Precision) -> GemmWorkload {
+    GemmWorkload::dense(
+        "precise",
+        GemmKernelSpec { m_tiles: 4, n_vecs: 2, pattern, precision },
+        12,
+        1,
+    )
+    .with_sparsity(0.4, 0.5)
+}
+
+#[test]
+fn precise_state_at_selected_boundaries() {
+    for pattern in [BroadcastPattern::Explicit, BroadcastPattern::Embedded] {
+        for precision in [Precision::F32, Precision::Mixed] {
+            let w = workload(pattern, precision);
+            for n in [0u64, 1, 5, 17, 40, 99, 10_000] {
+                check_precise(&w, CoreConfig::save_2vpu(), 21, n);
+            }
+        }
+    }
+}
+
+#[test]
+fn precise_state_under_every_scheduler() {
+    let w = workload(BroadcastPattern::Explicit, Precision::F32);
+    for cfg in [
+        CoreConfig::baseline(),
+        CoreConfig::save_2vpu(),
+        CoreConfig::save_1vpu(),
+        CoreConfig { scheduler: SchedulerKind::Horizontal, ..CoreConfig::save_2vpu() },
+        CoreConfig { mp_compress: false, ..CoreConfig::save_2vpu() },
+    ] {
+        for n in [3u64, 23, 61] {
+            check_precise(&w, cfg, 33, n);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Fuzz: at any commit boundary, the retired register state equals the
+    /// in-order reference — the precise-exception guarantee.
+    #[test]
+    fn precise_state_fuzz(
+        n in 0u64..400,
+        seed in any::<u64>(),
+        mp in any::<bool>(),
+        emb in any::<bool>(),
+    ) {
+        let w = workload(
+            if emb { BroadcastPattern::Embedded } else { BroadcastPattern::Explicit },
+            if mp { Precision::Mixed } else { Precision::F32 },
+        );
+        check_precise(&w, CoreConfig::save_2vpu(), seed, n);
+    }
+}

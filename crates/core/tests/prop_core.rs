@@ -1,0 +1,196 @@
+//! Property-based tests for the core: MGU correctness against brute force,
+//! and whole-simulator functional fuzzing — random GEMM workloads must
+//! compute reference-exact results under every scheduler configuration.
+
+use proptest::prelude::*;
+use save_core::{mgu, Core, CoreConfig, SchedulerKind};
+use save_isa::{VecF32, LANES};
+use save_kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision, RegionRole};
+use save_mem::{CoreMemory, MemConfig, Uncore, WarmLevel};
+
+fn sparse_lanes() -> impl Strategy<Value = [f32; LANES]> {
+    prop::array::uniform16(prop_oneof![
+        3 => Just(0.0f32),
+        5 => -2.0f32..2.0,
+    ])
+}
+
+proptest! {
+    /// The FP32 ELM equals a per-lane brute-force recomputation.
+    #[test]
+    fn elm_f32_matches_bruteforce(a in sparse_lanes(), b in sparse_lanes(), wm in any::<u16>()) {
+        let va = VecF32::from_lanes(a);
+        let vb = VecF32::from_lanes(b);
+        let elm = mgu::elm_f32(&va, &vb, wm);
+        for i in 0..LANES {
+            let expect = a[i] != 0.0 && b[i] != 0.0 && (wm >> i & 1 == 1);
+            prop_assert_eq!(elm >> i & 1 == 1, expect, "lane {}", i);
+        }
+    }
+
+    /// The mixed-precision masks: an ML is effectual iff both BF16 halves
+    /// are non-zero; an AL is effectual iff either of its MLs is.
+    #[test]
+    fn elm_mp_matches_bruteforce(a in sparse_lanes(), b in sparse_lanes()) {
+        let va = VecF32::from_lanes(a);
+        let vb = VecF32::from_lanes(b);
+        let (ml, al) = mgu::elm_mp(&va, &vb);
+        let ab = va.as_bf16();
+        let bb = vb.as_bf16();
+        for j in 0..32 {
+            let expect = !ab.lane(j).is_zero() && !bb.lane(j).is_zero();
+            prop_assert_eq!(ml >> j & 1 == 1, expect, "ML {}", j);
+        }
+        for i in 0..LANES {
+            prop_assert_eq!(al >> i & 1 == 1, ml >> (2 * i) & 0b11 != 0, "AL {}", i);
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct FuzzCase {
+    m: usize,
+    n: usize,
+    k: usize,
+    tiles: usize,
+    a_sparsity: f64,
+    b_sparsity: f64,
+    pattern: BroadcastPattern,
+    precision: Precision,
+    scheduler: usize,
+    vpus: usize,
+    seed: u64,
+}
+
+fn fuzz_case() -> impl Strategy<Value = FuzzCase> {
+    (
+        1usize..8,
+        1usize..4,
+        1usize..20,
+        1usize..3,
+        0.0f64..0.95,
+        0.0f64..0.95,
+        any::<bool>(),
+        any::<bool>(),
+        0usize..6,
+        1usize..3,
+        any::<u64>(),
+    )
+        .prop_map(|(m, n, k, tiles, a_s, b_s, emb, mp, scheduler, vpus, seed)| FuzzCase {
+            m,
+            n,
+            k: k * 2, // even for MP
+            tiles,
+            a_sparsity: a_s,
+            b_sparsity: b_s,
+            pattern: if emb { BroadcastPattern::Embedded } else { BroadcastPattern::Explicit },
+            precision: if mp { Precision::Mixed } else { Precision::F32 },
+            scheduler,
+            vpus,
+            seed,
+        })
+        .prop_filter("register budget", |c| {
+            GemmKernelSpec {
+                m_tiles: c.m,
+                n_vecs: c.n,
+                pattern: c.pattern,
+                precision: c.precision,
+            }
+            .fits_register_file()
+        })
+}
+
+fn config_of(case: &FuzzCase) -> CoreConfig {
+    let base = CoreConfig { num_vpus: case.vpus, ..CoreConfig::default() };
+    match case.scheduler {
+        0 => CoreConfig { scheduler: SchedulerKind::Baseline, rotate: false, lane_wise: false, mp_compress: false, ..base },
+        1 => CoreConfig { rotate: false, lane_wise: false, mp_compress: false, ..base },
+        2 => CoreConfig { rotate: true, lane_wise: false, mp_compress: false, ..base },
+        3 => CoreConfig { rotate: false, lane_wise: true, mp_compress: true, ..base },
+        4 => CoreConfig { scheduler: SchedulerKind::Horizontal, rotate: false, ..base },
+        _ => base, // full SAVE
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Whole-simulator functional fuzz: any workload on any scheduler
+    /// configuration completes and computes the reference result exactly.
+    #[test]
+    fn simulator_is_functionally_correct(case in fuzz_case()) {
+        let w = GemmWorkload::dense(
+            "fuzz",
+            GemmKernelSpec {
+                m_tiles: case.m,
+                n_vecs: case.n,
+                pattern: case.pattern,
+                precision: case.precision,
+            },
+            case.k,
+            case.tiles,
+        )
+        .with_sparsity(case.a_sparsity, case.b_sparsity);
+        let cfg = config_of(&case);
+        let mut built = w.build(case.seed);
+        let mcfg = MemConfig::default();
+        let mut uncore = Uncore::new(&mcfg, 1);
+        let mut cmem = CoreMemory::new(0, mcfg, cfg.freq_ghz);
+        for r in &built.regions {
+            if r.role == RegionRole::BroadcastInput {
+                cmem.warm(&mut uncore, r.base, r.bytes, WarmLevel::L3);
+            }
+        }
+        let out = Core::new(cfg).run(&built.program, &mut built.mem, &mut cmem, &mut uncore);
+        prop_assert!(out.completed, "did not complete: {case:?}");
+        if let Err((i, got, want)) = built.verify() {
+            prop_assert!(false, "mismatch at {i}: got {got} want {want}, case {case:?}");
+        }
+        // Lane accounting: every effectual lane is issued exactly once
+        // (unless the run was all baseline, which doesn't track ELMs).
+        if case.scheduler != 0 {
+            prop_assert!(out.stats.lanes_issued <= out.stats.lanes_total);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Rotation is a pure scheduling transform: FP32 results are bit-exact
+    /// with and without it, and with lane-wise dependence.
+    #[test]
+    fn rotation_and_lwd_do_not_change_results(
+        seed in any::<u64>(),
+        a_s in 0.0f64..0.9,
+        b_s in 0.0f64..0.9,
+    ) {
+        let w = GemmWorkload::dense(
+            "rot",
+            GemmKernelSpec {
+                m_tiles: 7,
+                n_vecs: 3,
+                pattern: BroadcastPattern::Explicit,
+                precision: Precision::F32,
+            },
+            24,
+            2,
+        )
+        .with_sparsity(a_s, b_s);
+        let mut outputs: Vec<Vec<u32>> = Vec::new();
+        for (rotate, lwd) in [(false, false), (true, false), (false, true), (true, true)] {
+            let cfg = CoreConfig { rotate, lane_wise: lwd, ..CoreConfig::default() };
+            let mut built = w.build(seed);
+            let mcfg = MemConfig::default();
+            let mut uncore = Uncore::new(&mcfg, 1);
+            let mut cmem = CoreMemory::new(0, mcfg, cfg.freq_ghz);
+            let out = Core::new(cfg).run(&built.program, &mut built.mem, &mut cmem, &mut uncore);
+            prop_assert!(out.completed);
+            let bits: Vec<u32> = (0..built.expected.len())
+                .map(|i| built.mem.read_f32(built.c_base + 4 * i as u64).to_bits())
+                .collect();
+            outputs.push(bits);
+        }
+        for o in &outputs[1..] {
+            prop_assert_eq!(o, &outputs[0]);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Pipeline-tracing integration: the event stream must be consistent with
+//! the statistics the run reports.
+
+use save_core::{CountingTracer, Core, CoreConfig, TextTracer, TraceEvent, Tracer};
+use save_kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision};
+use save_mem::{CoreMemory, MemConfig, Uncore, WarmLevel};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn workload(a: f64, b: f64) -> GemmWorkload {
+    GemmWorkload::dense(
+        "trace",
+        GemmKernelSpec {
+            m_tiles: 4,
+            n_vecs: 2,
+            pattern: BroadcastPattern::Explicit,
+            precision: Precision::F32,
+        },
+        16,
+        1,
+    )
+    .with_sparsity(a, b)
+}
+
+struct SharedCounter {
+    allocs: Arc<AtomicU64>,
+    commits: Arc<AtomicU64>,
+    vpu: Arc<AtomicU64>,
+    skips: Arc<AtomicU64>,
+    lanes: Arc<AtomicU64>,
+}
+
+impl Tracer for SharedCounter {
+    fn event(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Alloc { .. } => self.allocs.fetch_add(1, Ordering::Relaxed),
+            TraceEvent::Commit { .. } => self.commits.fetch_add(1, Ordering::Relaxed),
+            TraceEvent::VpuIssue { lanes, .. } => {
+                self.lanes.fetch_add(*lanes as u64, Ordering::Relaxed);
+                self.vpu.fetch_add(1, Ordering::Relaxed)
+            }
+            TraceEvent::BsSkip { .. } => self.skips.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+#[test]
+fn trace_events_match_statistics() {
+    let w = workload(0.5, 0.4);
+    let mut built = w.build(3);
+    let mcfg = MemConfig::default();
+    let mut uncore = Uncore::new(&mcfg, 1);
+    let mut cmem = CoreMemory::new(0, mcfg, 1.7);
+    cmem.warm(&mut uncore, 0, built.mem.size() as u64, WarmLevel::L3);
+    let allocs = Arc::new(AtomicU64::new(0));
+    let commits = Arc::new(AtomicU64::new(0));
+    let vpu = Arc::new(AtomicU64::new(0));
+    let skips = Arc::new(AtomicU64::new(0));
+    let lanes = Arc::new(AtomicU64::new(0));
+    let mut core = Core::new(CoreConfig::save_2vpu());
+    core.set_tracer(Box::new(SharedCounter {
+        allocs: Arc::clone(&allocs),
+        commits: Arc::clone(&commits),
+        vpu: Arc::clone(&vpu),
+        skips: Arc::clone(&skips),
+        lanes: Arc::clone(&lanes),
+    }));
+    let out = core.run(&built.program, &mut built.mem, &mut cmem, &mut uncore);
+    assert!(out.completed);
+    built.verify().unwrap();
+    let s = out.stats;
+    assert_eq!(allocs.load(Ordering::Relaxed), s.uops_committed, "alloc events = µops");
+    assert_eq!(commits.load(Ordering::Relaxed), s.uops_committed, "commit events = µops");
+    assert_eq!(vpu.load(Ordering::Relaxed), s.vpu_ops, "VPU-issue events = compacted ops");
+    assert_eq!(skips.load(Ordering::Relaxed), s.fmas_skipped_bs, "BS-skip events");
+    assert_eq!(lanes.load(Ordering::Relaxed), s.lanes_issued, "traced lanes = issued lanes");
+}
+
+#[test]
+fn text_trace_is_nonempty_and_ordered() {
+    let w = workload(0.0, 0.3);
+    let mut built = w.build(5);
+    let mcfg = MemConfig::default();
+    let mut uncore = Uncore::new(&mcfg, 1);
+    let mut cmem = CoreMemory::new(0, mcfg, 1.7);
+    cmem.warm(&mut uncore, 0, built.mem.size() as u64, WarmLevel::L3);
+    let buf: Vec<u8> = Vec::new();
+    let mut core = Core::new(CoreConfig::save_2vpu());
+    // Capture through a shared buffer.
+    let shared = std::sync::Arc::new(std::sync::Mutex::new(buf));
+    struct W(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for W {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    core.set_tracer(Box::new(TextTracer::new(W(Arc::clone(&shared)))));
+    let out = core.run(&built.program, &mut built.mem, &mut cmem, &mut uncore);
+    assert!(out.completed);
+    let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+    assert!(text.contains("alloc"));
+    assert!(text.contains("vpu"));
+    assert!(text.contains("commit"));
+    // Cycle numbers are non-decreasing line to line per event category.
+    let cycles: Vec<u64> = text
+        .lines()
+        .filter(|l| l.contains("commit"))
+        .filter_map(|l| l.split(']').next()?.trim_start_matches('[').trim().parse().ok())
+        .collect();
+    assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "commit trace must be time-ordered");
+}
+
+#[test]
+fn counting_tracer_via_public_api() {
+    // CountingTracer can't be read back through the boxed API (ownership
+    // moves in), so just exercise it standalone against a tiny stream.
+    let mut t = CountingTracer::default();
+    t.event(&TraceEvent::VpuIssue { cycle: 1, lanes: 16, from: vec![1] });
+    t.event(&TraceEvent::BsSkip { cycle: 2, rob: 4 });
+    assert_eq!(t.vpu_issues, 1);
+    assert_eq!(t.bs_skips, 1);
+}

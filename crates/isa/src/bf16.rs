@@ -1,0 +1,153 @@
+//! Software BF16 (Brain Floating Point) arithmetic.
+//!
+//! BF16 is the upper 16 bits of an IEEE-754 FP32 value: 1 sign bit, 8
+//! exponent bits (same dynamic range as FP32) and 7 mantissa bits. The
+//! paper's mixed-precision VFMAs multiply BF16 operands and accumulate in
+//! FP32 (§II-B, Fig 2); the multiply itself is performed by widening both
+//! operands to FP32, which is exact because a 7-bit mantissa product fits in
+//! an FP32 mantissa.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 16-bit brain floating-point number stored as raw bits.
+///
+/// Conversion from [`f32`] uses round-to-nearest-even, matching the x86
+/// `VCVTNEPS2BF16` instruction. NaNs are quieted.
+///
+/// ```
+/// use save_isa::Bf16;
+/// let x = Bf16::from_f32(1.0);
+/// assert_eq!(x.to_f32(), 1.0);
+/// assert!(Bf16::from_f32(0.0).is_zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3f80);
+
+    /// Builds a `Bf16` from its raw bit pattern.
+    pub const fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an [`f32`] to `Bf16` with round-to-nearest-even.
+    pub fn from_f32(v: f32) -> Self {
+        let bits = v.to_bits();
+        if v.is_nan() {
+            // Quiet NaN, preserving sign.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the truncated 16 bits: ties (low half
+        // exactly 0x8000) round to an even mantissa.
+        let lower = bits & 0xffff;
+        let mut upper = (bits >> 16) as u16;
+        if lower > 0x8000 || (lower == 0x8000 && upper & 1 == 1) {
+            upper = upper.wrapping_add(1);
+        }
+        Bf16(upper)
+    }
+
+    /// Converts to [`f32`] exactly (every BF16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Returns `true` for either signed zero.
+    ///
+    /// This is the predicate the SAVE Mask Generation Units apply to BF16
+    /// multiplicand lanes (§V): a lane is ineffectual when the multiplicand
+    /// is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 & 0x7fff == 0
+    }
+
+    /// Returns `true` if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        self.0 & 0x7f80 == 0x7f80 && self.0 & 0x007f != 0
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(v: Bf16) -> f32 {
+        v.to_f32()
+    }
+}
+
+impl fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bf16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_values() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 128.0, -3.5] {
+            assert_eq!(Bf16::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Bf16::from_f32(0.0).is_zero());
+        assert!(Bf16::from_f32(-0.0).is_zero());
+        assert!(!Bf16::from_f32(1.0e-30).is_zero());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between 1.0 and the next BF16 up;
+        // ties go to even (1.0 has even mantissa).
+        let halfway = f32::from_bits(0x3f80_8000);
+        assert_eq!(Bf16::from_f32(halfway).to_bits(), 0x3f80);
+        // Just above halfway rounds up.
+        let above = f32::from_bits(0x3f80_8001);
+        assert_eq!(Bf16::from_f32(above).to_bits(), 0x3f81);
+        // 1.0 + 3*2^-9: halfway between 0x3f81 and 0x3f82 -> ties to even 0x3f82.
+        let halfway_odd = f32::from_bits(0x3f81_8000);
+        assert_eq!(Bf16::from_f32(halfway_odd).to_bits(), 0x3f82);
+    }
+
+    #[test]
+    fn nan_is_preserved_and_quiet() {
+        let nan = Bf16::from_f32(f32::NAN);
+        assert!(nan.is_nan());
+        assert!(nan.to_f32().is_nan());
+    }
+
+    #[test]
+    fn rounding_error_is_bounded() {
+        // Relative error of a single conversion is at most 2^-8.
+        for i in 0..1000 {
+            let v = 0.37f32 + i as f32 * 0.013;
+            let r = Bf16::from_f32(v).to_f32();
+            assert!(((r - v) / v).abs() <= 1.0 / 256.0, "v={v} r={r}");
+        }
+    }
+
+    #[test]
+    fn infinity_roundtrips() {
+        assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,336 @@
+//! The instruction vocabulary of register-tiled GEMM micro-kernels.
+
+use crate::{KReg, VReg};
+use serde::{Deserialize, Serialize};
+
+/// A VFMA multiplicand operand: a register, an embedded broadcast from
+/// memory, or a full-vector memory operand (paper §II-B).
+///
+/// Embedded broadcasts (`MemBcast`) are the *embedded broadcast pattern*;
+/// kernels that pre-load scalars with [`Inst::BroadcastLoad`] and then use
+/// `Reg` operands follow the *explicit broadcast pattern*.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum VOperand {
+    /// A vector register operand.
+    Reg(VReg),
+    /// A scalar loaded from `addr` and broadcast to all lanes (for FP32) or
+    /// a 32-bit BF16 pair broadcast to all lane groups (for mixed precision).
+    MemBcast(u64),
+    /// A full 64-byte vector loaded from `addr`.
+    MemVec(u64),
+}
+
+impl VOperand {
+    /// Returns the memory address if this operand reads memory.
+    pub fn addr(&self) -> Option<u64> {
+        match self {
+            VOperand::Reg(_) => None,
+            VOperand::MemBcast(a) | VOperand::MemVec(a) => Some(*a),
+        }
+    }
+
+    /// Returns `true` for the embedded-broadcast form.
+    pub fn is_broadcast(&self) -> bool {
+        matches!(self, VOperand::MemBcast(_))
+    }
+}
+
+/// One macro-instruction of the kernel stream.
+///
+/// The core's front end cracks instructions with memory operands into a load
+/// µop plus a compute µop, like x86 µop cracking (see `save-core`).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Inst {
+    /// `vxorps dst, dst, dst` — zero an accumulator.
+    Zero {
+        /// Destination register.
+        dst: VReg,
+    },
+    /// `vbroadcastss dst, [addr]` — explicit broadcast load of a 32-bit
+    /// element to all lanes. Served by the broadcast cache when present.
+    BroadcastLoad {
+        /// Destination register.
+        dst: VReg,
+        /// Byte address of the scalar.
+        addr: u64,
+    },
+    /// `vmovups dst, [addr]` — full 64-byte vector load.
+    VecLoad {
+        /// Destination register.
+        dst: VReg,
+        /// Byte address of the vector (64-byte aligned in our kernels).
+        addr: u64,
+    },
+    /// A ZCOMP-style compressed vector load (§VIII of the paper: ZCOMP's
+    /// "memory reduction is proportional to SAVE's computation reduction,
+    /// and SAVE can directly use the vector loaded by ZCOMP"). The vector's
+    /// *values* live at `addr` as usual; its *memory footprint* is the
+    /// compressed image at `timing_addr` (bitmap + packed non-zeros), which
+    /// is what the caches and DRAM see.
+    CompressedVecLoad {
+        /// Destination register.
+        dst: VReg,
+        /// Byte address of the uncompressed values (functional).
+        addr: u64,
+        /// Byte address of the compressed image (timing).
+        timing_addr: u64,
+    },
+    /// `vmovups [addr], src` — full 64-byte vector store.
+    VecStore {
+        /// Source register.
+        src: VReg,
+        /// Byte address of the destination.
+        addr: u64,
+    },
+    /// `vfmadd231ps acc{mask}, a, b` — FP32 fused multiply-add:
+    /// `acc[i] += a[i] * b[i]` for unmasked lanes (paper Eq. 1).
+    VfmaF32 {
+        /// Accumulator register (both source and destination).
+        acc: VReg,
+        /// First multiplicand.
+        a: VOperand,
+        /// Second multiplicand (at most one of `a`/`b` may be memory).
+        b: VOperand,
+        /// Optional write mask; masked-out lanes keep the accumulator value.
+        mask: Option<KReg>,
+    },
+    /// `vdpbf16ps acc, a, b` — mixed-precision dot-product FMA:
+    /// `acc[i] += a[2i]*b[2i] + a[2i+1]*b[2i+1]` with BF16 multiplicands and
+    /// FP32 accumulation, computed as two chained MACs (paper Eq. 2, Fig 2).
+    VdpBf16 {
+        /// FP32 accumulator register.
+        acc: VReg,
+        /// First BF16 multiplicand vector.
+        a: VOperand,
+        /// Second BF16 multiplicand vector.
+        b: VOperand,
+    },
+    /// `kmovw dst, imm` — load an immediate write mask.
+    SetMask {
+        /// Destination mask register.
+        dst: KReg,
+        /// Immediate 16-bit mask value.
+        value: u16,
+    },
+    /// A scalar loop-overhead µop (address arithmetic, branch). Occupies an
+    /// allocation slot and a ROB entry but executes on a scalar port with
+    /// single-cycle latency; it models the non-vector instruction overhead of
+    /// real kernels.
+    ScalarOp,
+    /// A front-end redirect bubble: allocation stalls for `cycles` cycles.
+    /// Used to model branch mispredictions in trace form — e.g. the
+    /// data-dependent skip branches of SparseTrain-style software
+    /// zero-skipping, whose outcomes are unpredictable at random sparsity.
+    FrontEndBubble {
+        /// Stall length in cycles.
+        cycles: u8,
+    },
+}
+
+/// Classification of an instruction for stats and scheduling.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum InstKind {
+    /// FP32 VFMA.
+    FmaF32,
+    /// Mixed-precision (BF16) VFMA.
+    FmaBf16,
+    /// Broadcast load.
+    BcastLoad,
+    /// Full-vector load.
+    Load,
+    /// Vector store.
+    Store,
+    /// Mask setup.
+    MaskSetup,
+    /// Register zeroing.
+    Zero,
+    /// Scalar overhead.
+    Scalar,
+}
+
+impl Inst {
+    /// Returns the instruction's [`InstKind`].
+    pub fn kind(&self) -> InstKind {
+        match self {
+            Inst::Zero { .. } => InstKind::Zero,
+            Inst::BroadcastLoad { .. } => InstKind::BcastLoad,
+            Inst::VecLoad { .. } | Inst::CompressedVecLoad { .. } => InstKind::Load,
+            Inst::VecStore { .. } => InstKind::Store,
+            Inst::VfmaF32 { .. } => InstKind::FmaF32,
+            Inst::VdpBf16 { .. } => InstKind::FmaBf16,
+            Inst::SetMask { .. } => InstKind::MaskSetup,
+            Inst::ScalarOp | Inst::FrontEndBubble { .. } => InstKind::Scalar,
+        }
+    }
+
+    /// Returns `true` for either flavor of VFMA.
+    pub fn is_fma(&self) -> bool {
+        matches!(self, Inst::VfmaF32 { .. } | Inst::VdpBf16 { .. })
+    }
+}
+
+impl std::fmt::Display for VOperand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VOperand::Reg(r) => write!(f, "{r}"),
+            VOperand::MemBcast(a) => write!(f, "[0x{a:x}]{{1to16}}"),
+            VOperand::MemVec(a) => write!(f, "[0x{a:x}]"),
+        }
+    }
+}
+
+impl std::fmt::Display for Inst {
+    /// AVX-512-assembly-flavoured disassembly, for traces and debugging.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Inst::Zero { dst } => write!(f, "vxorps {dst}, {dst}, {dst}"),
+            Inst::BroadcastLoad { dst, addr } => write!(f, "vbroadcastss {dst}, [0x{addr:x}]"),
+            Inst::VecLoad { dst, addr } => write!(f, "vmovups {dst}, [0x{addr:x}]"),
+            Inst::CompressedVecLoad { dst, addr, timing_addr } => {
+                write!(f, "zcomp.load {dst}, [0x{addr:x}] (compressed@0x{timing_addr:x})")
+            }
+            Inst::VecStore { src, addr } => write!(f, "vmovups [0x{addr:x}], {src}"),
+            Inst::VfmaF32 { acc, a, b, mask } => match mask {
+                Some(k) => write!(f, "vfmadd231ps {acc}{{{k}}}, {a}, {b}"),
+                None => write!(f, "vfmadd231ps {acc}, {a}, {b}"),
+            },
+            Inst::VdpBf16 { acc, a, b } => write!(f, "vdpbf16ps {acc}, {a}, {b}"),
+            Inst::SetMask { dst, value } => write!(f, "kmovw {dst}, 0x{value:x}"),
+            Inst::ScalarOp => write!(f, "scalar"),
+            Inst::FrontEndBubble { cycles } => write!(f, "bubble {cycles}"),
+        }
+    }
+}
+
+/// A complete kernel instruction stream with a human-readable name.
+///
+/// ```
+/// use save_isa::{Program, Inst, VReg};
+/// let mut p = Program::new("demo");
+/// p.push(Inst::Zero { dst: VReg(0) });
+/// assert_eq!(p.len(), 1);
+/// assert_eq!(p.fma_count(), 0);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Kernel name (e.g. `"ResNet2_2 fwd"`).
+    pub name: String,
+    /// The instruction stream in program order.
+    pub insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program { name: name.into(), insts: Vec::new() }
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Number of VFMA instructions (both precisions).
+    pub fn fma_count(&self) -> usize {
+        self.insts.iter().filter(|i| i.is_fma()).count()
+    }
+
+    /// Iterates over the instructions in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Inst> {
+        self.insts.iter()
+    }
+}
+
+impl Extend<Inst> for Program {
+    fn extend<T: IntoIterator<Item = Inst>>(&mut self, iter: T) {
+        self.insts.extend(iter);
+    }
+}
+
+impl FromIterator<Inst> for Program {
+    fn from_iter<T: IntoIterator<Item = Inst>>(iter: T) -> Self {
+        Program { name: String::new(), insts: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(Inst::ScalarOp.kind(), InstKind::Scalar);
+        assert_eq!(
+            Inst::VfmaF32 {
+                acc: VReg(0),
+                a: VOperand::Reg(VReg(1)),
+                b: VOperand::MemVec(0),
+                mask: None
+            }
+            .kind(),
+            InstKind::FmaF32
+        );
+        assert_eq!(
+            Inst::VdpBf16 { acc: VReg(0), a: VOperand::Reg(VReg(1)), b: VOperand::Reg(VReg(2)) }
+                .kind(),
+            InstKind::FmaBf16
+        );
+    }
+
+    #[test]
+    fn operand_addr() {
+        assert_eq!(VOperand::Reg(VReg(0)).addr(), None);
+        assert_eq!(VOperand::MemBcast(64).addr(), Some(64));
+        assert_eq!(VOperand::MemVec(128).addr(), Some(128));
+        assert!(VOperand::MemBcast(0).is_broadcast());
+        assert!(!VOperand::MemVec(0).is_broadcast());
+    }
+
+    #[test]
+    fn disassembly_strings() {
+        let fma = Inst::VfmaF32 {
+            acc: VReg(0),
+            a: VOperand::Reg(VReg(1)),
+            b: VOperand::MemBcast(0x40),
+            mask: Some(KReg(2)),
+        };
+        assert_eq!(fma.to_string(), "vfmadd231ps zmm0{k2}, zmm1, [0x40]{1to16}");
+        assert_eq!(Inst::Zero { dst: VReg(3) }.to_string(), "vxorps zmm3, zmm3, zmm3");
+        assert_eq!(
+            Inst::VdpBf16 { acc: VReg(0), a: VOperand::Reg(VReg(1)), b: VOperand::MemVec(0x80) }
+                .to_string(),
+            "vdpbf16ps zmm0, zmm1, [0x80]"
+        );
+        assert_eq!(Inst::SetMask { dst: KReg(1), value: 0xff }.to_string(), "kmovw k1, 0xff");
+    }
+
+    #[test]
+    fn program_counts_fmas() {
+        let p: Program = vec![
+            Inst::Zero { dst: VReg(0) },
+            Inst::VfmaF32 {
+                acc: VReg(0),
+                a: VOperand::Reg(VReg(1)),
+                b: VOperand::Reg(VReg(2)),
+                mask: None,
+            },
+            Inst::ScalarOp,
+            Inst::VdpBf16 { acc: VReg(0), a: VOperand::Reg(VReg(1)), b: VOperand::Reg(VReg(2)) },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(p.fma_count(), 2);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+}

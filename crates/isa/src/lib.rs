@@ -1,0 +1,54 @@
+//! # save-isa — the vector ISA substrate of the SAVE reproduction
+//!
+//! This crate models an abstract AVX-512-like instruction set at the level of
+//! detail the SAVE micro-architecture (Gong et al., MICRO 2020) needs:
+//!
+//! * 512-bit vector values with 16 FP32 lanes, or 32 BF16 multiplicand lanes
+//!   feeding 16 FP32 accumulator lanes for mixed-precision dot-product FMAs
+//!   (the `VDPBF16PS` pattern from §II-B of the paper);
+//! * software [`Bf16`] arithmetic with round-to-nearest-even conversion;
+//! * logical vector ([`VReg`]) and write-mask ([`KReg`]) registers;
+//! * the small instruction vocabulary of a register-tiled GEMM micro-kernel
+//!   ([`Inst`]): broadcasts, vector loads/stores, FP32 VFMAs, BF16 dot-product
+//!   VFMAs, write-mask setup and scalar loop-overhead placeholders;
+//! * a flat functional [`Memory`] arena the simulator executes against.
+//!
+//! The crate is purely functional (no timing); the cycle-level machinery
+//! lives in `save-core` and `save-mem`.
+//!
+//! ## Example
+//!
+//! ```
+//! use save_isa::{Inst, VOperand, VReg, VecF32, Memory};
+//!
+//! let mut mem = Memory::new(4096);
+//! mem.write_f32(0, 2.0);
+//! let program = vec![
+//!     Inst::Zero { dst: VReg(0) },
+//!     Inst::BroadcastLoad { dst: VReg(1), addr: 0 },
+//!     Inst::VfmaF32 { acc: VReg(0), a: VOperand::Reg(VReg(1)), b: VOperand::Reg(VReg(1)), mask: None },
+//! ];
+//! assert_eq!(program.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bf16;
+mod inst;
+mod memory;
+mod regs;
+mod vector;
+
+pub use bf16::Bf16;
+pub use inst::{Inst, InstKind, Program, VOperand};
+pub use memory::Memory;
+pub use regs::{KReg, VReg, NUM_KREGS, NUM_VREGS};
+pub use vector::{VecBf16, VecF32, LANES, ML_LANES};
+
+/// Cache-line size in bytes, shared by the whole model (§IV-A assumes 64 B
+/// lines with 4 B elements).
+pub const LINE_BYTES: usize = 64;
+
+/// Number of FP32 elements in one cache line.
+pub const F32_PER_LINE: usize = LINE_BYTES / 4;

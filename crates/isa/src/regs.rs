@@ -1,0 +1,101 @@
+//! Logical (architectural) register names.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of architectural 512-bit vector registers (AVX-512 has 32; the
+/// paper sizes the broadcast cache and the combination window from this,
+/// §III and §IV-A).
+pub const NUM_VREGS: usize = 32;
+
+/// Number of architectural write-mask registers (AVX-512 `k0`-`k7`).
+pub const NUM_KREGS: usize = 8;
+
+/// A logical 512-bit vector register (`zmm0`..`zmm31`).
+///
+/// The rotate-vertical-coalescing scheme derives a VFMA's rotational state
+/// from its accumulator's *logical* register number (`reg % 3`, paper §IV-B),
+/// so this index is architecturally meaningful to SAVE.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VReg(pub u8);
+
+impl VReg {
+    /// Returns the register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rotational state in `{-1, 0, +1}` assigned by SAVE's rotate-vertical
+    /// coalescing: `reg % 3` mapped to a rotation amount (paper §IV-B).
+    pub fn rotation_state(self) -> i8 {
+        match self.0 % 3 {
+            0 => 0,
+            1 => 1,
+            _ => -1,
+        }
+    }
+}
+
+impl fmt::Debug for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zmm{}", self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zmm{}", self.0)
+    }
+}
+
+/// A logical write-mask register (`k0`..`k7`) used for VFMA predication,
+/// e.g. masks marking dropped weights during pruned training (§III).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KReg(pub u8);
+
+impl KReg {
+    /// Returns the register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for KReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for KReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_states_cycle_through_three_values() {
+        assert_eq!(VReg(0).rotation_state(), 0);
+        assert_eq!(VReg(1).rotation_state(), 1);
+        assert_eq!(VReg(2).rotation_state(), -1);
+        assert_eq!(VReg(3).rotation_state(), 0);
+        assert_eq!(VReg(31).rotation_state(), 1);
+    }
+
+    #[test]
+    fn same_logical_acc_same_rotation() {
+        // The invariant SAVE relies on to keep one copy per accumulator.
+        for r in 0..NUM_VREGS as u8 {
+            assert_eq!(VReg(r).rotation_state(), VReg(r).rotation_state());
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", VReg(5)), "zmm5");
+        assert_eq!(format!("{}", KReg(2)), "k2");
+    }
+}

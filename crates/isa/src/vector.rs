@@ -1,0 +1,210 @@
+//! 512-bit vector values.
+//!
+//! The same 512-bit register is viewed either as 16 FP32 lanes ([`VecF32`])
+//! or as 32 BF16 multiplicand lanes ([`VecBf16`]). Mixed-precision VFMAs map
+//! two adjacent BF16 multiplicand lanes (MLs) onto one FP32 accumulator lane
+//! (AL) — ML `2i` and `2i+1` feed AL `i` (paper §II-B, Eq. 2).
+
+use crate::Bf16;
+use serde::{Deserialize, Serialize};
+
+/// Number of FP32 lanes in a 512-bit vector (and of mixed-precision
+/// accumulator lanes).
+pub const LANES: usize = 16;
+
+/// Number of BF16 multiplicand lanes in a 512-bit vector.
+pub const ML_LANES: usize = 32;
+
+/// A 512-bit vector viewed as 16 FP32 lanes.
+///
+/// ```
+/// use save_isa::VecF32;
+/// let v = VecF32::splat(3.0);
+/// assert_eq!(v.lane(7), 3.0);
+/// assert_eq!(v.zero_mask(), 0); // no zero lanes
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct VecF32(pub [f32; LANES]);
+
+impl VecF32 {
+    /// All-zero vector.
+    pub const ZERO: VecF32 = VecF32([0.0; LANES]);
+
+    /// Builds a vector with every lane equal to `v` (the result of a
+    /// broadcast load).
+    pub fn splat(v: f32) -> Self {
+        VecF32([v; LANES])
+    }
+
+    /// Builds a vector from an array of lane values.
+    pub fn from_lanes(lanes: [f32; LANES]) -> Self {
+        VecF32(lanes)
+    }
+
+    /// Reads lane `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= LANES`.
+    pub fn lane(&self, i: usize) -> f32 {
+        self.0[i]
+    }
+
+    /// Writes lane `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= LANES`.
+    pub fn set_lane(&mut self, i: usize, v: f32) {
+        self.0[i] = v;
+    }
+
+    /// Bitmask with bit `i` set iff lane `i` is exactly (signed) zero.
+    ///
+    /// This is the per-element zero comparison performed by the Mask
+    /// Generation Units (paper Fig 4) and by the mask-design broadcast cache
+    /// (paper Fig 6b).
+    pub fn zero_mask(&self) -> u16 {
+        let mut m = 0u16;
+        for (i, v) in self.0.iter().enumerate() {
+            if *v == 0.0 {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    /// Bitmask with bit `i` set iff lane `i` is non-zero (complement of
+    /// [`zero_mask`](Self::zero_mask)).
+    pub fn nonzero_mask(&self) -> u16 {
+        !self.zero_mask()
+    }
+
+    /// Fraction of zero lanes, useful for sparsity assertions in tests.
+    pub fn sparsity(&self) -> f64 {
+        self.zero_mask().count_ones() as f64 / LANES as f64
+    }
+
+    /// Interprets the same 512 bits as 32 BF16 multiplicand lanes.
+    ///
+    /// Lane `2i` is the low half of FP32 slot `i`, lane `2i+1` the high half,
+    /// matching the little-endian packing of `VDPBF16PS` operands.
+    pub fn as_bf16(&self) -> VecBf16 {
+        let mut out = [Bf16::ZERO; ML_LANES];
+        for (i, v) in self.0.iter().enumerate() {
+            let bits = v.to_bits();
+            out[2 * i] = Bf16::from_bits(bits as u16);
+            out[2 * i + 1] = Bf16::from_bits((bits >> 16) as u16);
+        }
+        VecBf16(out)
+    }
+}
+
+/// A 512-bit vector viewed as 32 BF16 multiplicand lanes.
+///
+/// ```
+/// use save_isa::{Bf16, VecBf16};
+/// let v = VecBf16::splat_pair(Bf16::from_f32(1.0), Bf16::ZERO);
+/// // Odd multiplicand lanes are zero:
+/// assert_eq!(v.zero_mask() & 0b10, 0b10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct VecBf16(pub [Bf16; ML_LANES]);
+
+impl Default for VecBf16 {
+    fn default() -> Self {
+        VecBf16([Bf16::ZERO; ML_LANES])
+    }
+}
+
+impl VecBf16 {
+    /// Builds a vector from an array of BF16 lanes.
+    pub fn from_lanes(lanes: [Bf16; ML_LANES]) -> Self {
+        VecBf16(lanes)
+    }
+
+    /// Broadcasts a (low, high) BF16 pair to every accumulator-lane group,
+    /// the embedded-broadcast form of a mixed-precision VFMA (a 32-bit
+    /// element broadcast).
+    pub fn splat_pair(lo: Bf16, hi: Bf16) -> Self {
+        let mut out = [Bf16::ZERO; ML_LANES];
+        for i in 0..LANES {
+            out[2 * i] = lo;
+            out[2 * i + 1] = hi;
+        }
+        VecBf16(out)
+    }
+
+    /// Reads multiplicand lane `i` (`0 <= i < 32`).
+    ///
+    /// # Panics
+    /// Panics if `i >= ML_LANES`.
+    pub fn lane(&self, i: usize) -> Bf16 {
+        self.0[i]
+    }
+
+    /// 32-bit mask with bit `i` set iff ML `i` is zero.
+    pub fn zero_mask(&self) -> u32 {
+        let mut m = 0u32;
+        for (i, v) in self.0.iter().enumerate() {
+            if v.is_zero() {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    /// Repacks the 32 BF16 lanes into 16 FP32 raw slots (the storage format
+    /// inside a 512-bit register).
+    pub fn to_vec_f32_bits(&self) -> VecF32 {
+        let mut out = [0.0f32; LANES];
+        for (i, o) in out.iter_mut().enumerate() {
+            let bits =
+                (self.0[2 * i].to_bits() as u32) | ((self.0[2 * i + 1].to_bits() as u32) << 16);
+            *o = f32::from_bits(bits);
+        }
+        VecF32(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mask_matches_lanes() {
+        let mut v = VecF32::splat(1.0);
+        v.set_lane(3, 0.0);
+        v.set_lane(9, -0.0);
+        assert_eq!(v.zero_mask(), (1 << 3) | (1 << 9));
+        assert_eq!(v.nonzero_mask(), !((1 << 3) | (1 << 9)));
+    }
+
+    #[test]
+    fn bf16_roundtrip_through_f32_bits() {
+        let mut lanes = [Bf16::ZERO; ML_LANES];
+        for (i, l) in lanes.iter_mut().enumerate() {
+            *l = Bf16::from_f32(i as f32 * 0.25 - 2.0);
+        }
+        let v = VecBf16::from_lanes(lanes);
+        let packed = v.to_vec_f32_bits();
+        let back = packed.as_bf16();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn splat_pair_layout() {
+        let v = VecBf16::splat_pair(Bf16::from_f32(2.0), Bf16::from_f32(3.0));
+        for i in 0..LANES {
+            assert_eq!(v.lane(2 * i).to_f32(), 2.0);
+            assert_eq!(v.lane(2 * i + 1).to_f32(), 3.0);
+        }
+    }
+
+    #[test]
+    fn sparsity_fraction() {
+        let mut v = VecF32::splat(1.0);
+        for i in 0..8 {
+            v.set_lane(i, 0.0);
+        }
+        assert_eq!(v.sparsity(), 0.5);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the ISA substrate.
+
+use proptest::prelude::*;
+use save_isa::{Bf16, Memory, VecBf16, VecF32, LANES, ML_LANES};
+
+proptest! {
+    /// BF16 conversion is within half a ULP (2^-8 relative) for normal
+    /// values and is idempotent.
+    #[test]
+    fn bf16_roundtrip_error_bounded(x in -1.0e30f32..1.0e30f32) {
+        prop_assume!(x.is_finite() && x.abs() > f32::MIN_POSITIVE);
+        let r = Bf16::from_f32(x).to_f32();
+        let rel = ((r - x) / x).abs();
+        prop_assert!(rel <= 1.0 / 256.0, "x={x} r={r} rel={rel}");
+        // Idempotence: converting an exact BF16 value changes nothing.
+        let again = Bf16::from_f32(r);
+        prop_assert_eq!(again.to_f32().to_bits(), r.to_bits());
+    }
+
+    /// Round-to-nearest-even is monotone on same-sign inputs.
+    #[test]
+    fn bf16_conversion_is_monotone(a in 0.0f32..1.0e20, b in 0.0f32..1.0e20) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Bf16::from_f32(lo).to_f32() <= Bf16::from_f32(hi).to_f32());
+    }
+
+    /// `is_zero` agrees with the float comparison.
+    #[test]
+    fn bf16_zero_detection(bits in any::<u16>()) {
+        let v = Bf16::from_bits(bits);
+        if !v.is_nan() {
+            prop_assert_eq!(v.is_zero(), v.to_f32() == 0.0);
+        }
+    }
+
+    /// The zero mask marks exactly the zero lanes.
+    #[test]
+    fn vec_zero_mask_matches_lanes(lanes in prop::array::uniform16(-4.0f32..4.0)) {
+        let v = VecF32::from_lanes(lanes);
+        let m = v.zero_mask();
+        for (i, l) in lanes.iter().enumerate() {
+            prop_assert_eq!(m >> i & 1 == 1, *l == 0.0);
+        }
+        prop_assert_eq!(m, !v.nonzero_mask());
+        prop_assert!((v.sparsity() - m.count_ones() as f64 / LANES as f64).abs() < 1e-12);
+    }
+
+    /// BF16 lane packing round-trips through the raw FP32 storage view.
+    #[test]
+    fn bf16_vector_packing_roundtrip(raw in prop::array::uniform32(any::<u16>())) {
+        let lanes: [Bf16; ML_LANES] = raw.map(Bf16::from_bits);
+        let v = VecBf16::from_lanes(lanes);
+        prop_assert_eq!(v.to_vec_f32_bits().as_bf16(), v);
+    }
+
+    /// Memory reads return the last write, across interleaved scalar and
+    /// vector accesses.
+    #[test]
+    fn memory_read_your_writes(
+        writes in prop::collection::vec((0u64..960, -100.0f32..100.0), 1..64)
+    ) {
+        let mut mem = Memory::new(1024);
+        let mut model = std::collections::HashMap::new();
+        for (slot, v) in writes {
+            let addr = slot / 4 * 4; // 4-byte aligned
+            mem.write_f32(addr, v);
+            model.insert(addr, v);
+        }
+        for (addr, v) in model {
+            prop_assert_eq!(mem.read_f32(addr).to_bits(), v.to_bits());
+        }
+    }
+
+    /// Allocations are 64-byte aligned and never overlap.
+    #[test]
+    fn memory_alloc_disjoint(sizes in prop::collection::vec(1usize..500, 1..20)) {
+        let mut mem = Memory::new(0);
+        let mut regions: Vec<(u64, usize)> = Vec::new();
+        for s in sizes {
+            let base = mem.alloc(s);
+            prop_assert_eq!(base % 64, 0);
+            for &(b, len) in &regions {
+                let disjoint = base >= b + len as u64 || b >= base + s as u64;
+                prop_assert!(disjoint, "overlap: ({b},{len}) vs ({base},{s})");
+            }
+            regions.push((base, s));
+        }
+    }
+
+    /// Vector store/load round-trips bit-exactly.
+    #[test]
+    fn memory_vector_roundtrip(lanes in prop::array::uniform16(-1.0e10f32..1.0e10)) {
+        let mut mem = Memory::new(256);
+        let v = VecF32::from_lanes(lanes);
+        mem.write_vec_f32(64, v);
+        prop_assert_eq!(mem.read_vec_f32(64), v);
+    }
+}

@@ -1,0 +1,202 @@
+//! Convolution layers lowered to GEMM micro-kernel workloads.
+//!
+//! DNNL computes convolutions directly as a series of small GEMMs (§II-A).
+//! Per phase the operand roles follow DNNL's direct convolution (DESIGN.md,
+//! Table III reconstruction):
+//!
+//! * **forward** — broadcast input activations × weight vectors over 16
+//!   output channels; reduction over `c_in * r * s`;
+//! * **backward input (dgrad)** — broadcast output gradients × transposed
+//!   weight vectors; reduction over `c_out * r * s`;
+//! * **backward weights (wgrad)** — broadcast activations × gradient
+//!   vectors; reduction over the output pixels.
+//!
+//! Forward kernels use the explicit broadcast pattern; both backward phases
+//! use the embedded pattern (matching the kernels the paper studies in
+//! Figs 17-18). Weights are reused across output-pixel tiles (`reuse_b`),
+//! which keeps convolutions compute-bound.
+
+use crate::gemm::{GemmKernelSpec, GemmWorkload};
+use crate::types::{BroadcastPattern, Phase, Precision};
+use serde::{Deserialize, Serialize};
+
+/// A convolution layer shape.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvShape {
+    /// Layer name (e.g. `"ResNet3_2"`).
+    pub name: String,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Input spatial height/width (square).
+    pub hw: usize,
+    /// Kernel height/width (square).
+    pub rs: usize,
+    /// Stride.
+    pub stride: usize,
+    /// How many times this shape occurs in the network.
+    pub count: usize,
+}
+
+impl ConvShape {
+    /// Creates a shape.
+    pub fn new(
+        name: impl Into<String>,
+        c_in: usize,
+        c_out: usize,
+        hw: usize,
+        rs: usize,
+        stride: usize,
+        count: usize,
+    ) -> Self {
+        ConvShape { name: name.into(), c_in, c_out, hw, rs, stride, count }
+    }
+
+    /// Output spatial size.
+    pub fn out_hw(&self) -> usize {
+        self.hw.div_ceil(self.stride)
+    }
+
+    /// Multiply-accumulate FLOPs of the full layer (2 per MAC) for one
+    /// sample, times the occurrence count.
+    pub fn flops(&self) -> f64 {
+        let out = self.out_hw();
+        2.0 * (out * out * self.c_out * self.c_in * self.rs * self.rs) as f64 * self.count as f64
+    }
+
+    /// Reduction length of the GEMM for `phase`.
+    pub fn reduction(&self, phase: Phase) -> usize {
+        match phase {
+            Phase::Forward => self.c_in * self.rs * self.rs,
+            Phase::BackwardInput => self.c_out * self.rs * self.rs,
+            Phase::BackwardWeights => self.out_hw() * self.out_hw(),
+        }
+    }
+
+    /// Vectorized (16-wide) dimension of the GEMM for `phase`.
+    fn vec_dim(&self, phase: Phase) -> usize {
+        match phase {
+            Phase::Forward => self.c_out,
+            Phase::BackwardInput => self.c_in,
+            Phase::BackwardWeights => self.c_out,
+        }
+    }
+
+    /// Register blocking for `phase`, DNNL-style: up to 4 vector columns,
+    /// rows chosen to use 21-28 accumulators.
+    pub fn blocking(&self, phase: Phase) -> (usize, usize) {
+        // The paper's named backward-input kernels use specific blockings
+        // (§VII-D): ResNet3_2 has 28 accumulators with a reuse of 28
+        // (effective CW ≈ 1); ResNet5_1a has 21 with a reuse of 7
+        // (effective CW ≈ 3).
+        if phase == Phase::BackwardInput {
+            match self.name.as_str() {
+                "ResNet3_2" => return (28, 1),
+                "ResNet5_1a" => return (7, 3),
+                _ => {}
+            }
+        }
+        let n = (self.vec_dim(phase) / 16).clamp(1, 4);
+        let m = match n {
+            1 => 28,
+            2 => 12,
+            3 => 7,
+            _ => 6,
+        };
+        (m, n)
+    }
+
+    /// The broadcast pattern DNNL-style kernels use for `phase`.
+    pub fn pattern(&self, phase: Phase) -> BroadcastPattern {
+        match phase {
+            Phase::Forward => BroadcastPattern::Explicit,
+            Phase::BackwardInput | Phase::BackwardWeights => BroadcastPattern::Embedded,
+        }
+    }
+
+    /// Builds the (scaled-down) GEMM workload for `phase` at `precision`.
+    ///
+    /// The reduction length is capped and the tile count fixed so a kernel
+    /// simulates in milliseconds; end-to-end estimates rescale by
+    /// [`ConvShape::flops`] (DESIGN.md §4).
+    pub fn workload(&self, phase: Phase, precision: Precision) -> GemmWorkload {
+        let (m, n) = self.blocking(phase);
+        let k_cap = match precision {
+            Precision::F32 => 128,
+            Precision::Mixed => 128,
+        };
+        let k_total = self.reduction(phase).min(k_cap).max(16) & !1;
+        GemmWorkload {
+            name: format!("{} {} {}", self.name, phase, precision),
+            spec: GemmKernelSpec { m_tiles: m, n_vecs: n, pattern: self.pattern(phase), precision },
+            k_total,
+            tiles: 6,
+            b_panel_tiles: usize::MAX,
+            a_sparsity: 0.0,
+            b_sparsity: 0.0,
+            use_write_masks: false,
+            software_bs_skip: false,
+            compressed_b: false,
+            a_cluster: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ConvShape {
+        ConvShape::new("ResNet3_2", 128, 128, 28, 3, 1, 4)
+    }
+
+    #[test]
+    fn reductions_per_phase() {
+        let s = shape();
+        assert_eq!(s.reduction(Phase::Forward), 128 * 9);
+        assert_eq!(s.reduction(Phase::BackwardInput), 128 * 9);
+        assert_eq!(s.reduction(Phase::BackwardWeights), 28 * 28);
+    }
+
+    #[test]
+    fn named_blocking_overrides() {
+        let s = shape();
+        assert_eq!(s.blocking(Phase::BackwardInput), (28, 1));
+        let s5 = ConvShape::new("ResNet5_1a", 1024, 512, 7, 1, 1, 1);
+        assert_eq!(s5.blocking(Phase::BackwardInput), (7, 3));
+    }
+
+    #[test]
+    fn workloads_fit_register_file() {
+        for phase in Phase::ALL {
+            for prec in [Precision::F32, Precision::Mixed] {
+                let w = shape().workload(phase, prec);
+                assert!(w.spec.fits_register_file(), "{phase} {prec}");
+                assert!(w.k_total.is_multiple_of(2));
+            }
+        }
+    }
+
+    #[test]
+    fn forward_is_explicit_backward_embedded() {
+        let s = shape();
+        assert_eq!(s.pattern(Phase::Forward), BroadcastPattern::Explicit);
+        assert_eq!(s.pattern(Phase::BackwardInput), BroadcastPattern::Embedded);
+        assert_eq!(s.pattern(Phase::BackwardWeights), BroadcastPattern::Embedded);
+    }
+
+    #[test]
+    fn flops_scale_with_count() {
+        let mut s = shape();
+        let f1 = s.flops();
+        s.count = 8;
+        assert!((s.flops() / f1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strided_output_size() {
+        let s = ConvShape::new("x", 3, 64, 224, 7, 2, 1);
+        assert_eq!(s.out_hw(), 112);
+    }
+}

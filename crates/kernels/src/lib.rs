@@ -1,0 +1,36 @@
+//! # save-kernels — DNN kernel generators and layer tables
+//!
+//! The paper runs Intel DNNL's AVX-512 GEMM/convolution/LSTM kernels inside
+//! the simulator. We cannot execute x86 binaries, so this crate generates
+//! µop streams with the same structure DNNL emits (see DESIGN.md,
+//! substitutions): register-blocked GEMM micro-kernels that keep a tile of
+//! `m_tiles x n_vecs` accumulators in vector registers, stream the
+//! non-broadcasted multiplicand through `n_vecs` registers, and feed the
+//! broadcasted multiplicand either through explicit `vbroadcastss` loads
+//! (*explicit broadcast pattern*) or as VFMA memory operands (*embedded
+//! broadcast pattern*) — §II-B of the paper.
+//!
+//! The crate also carries the paper's workloads: the 13 VGG16 convolutions,
+//! the 53 ResNet-50 convolutions and the GNMT LSTM cells (§VI), plus the
+//! four individually named kernels of §VII (ResNet2_2, ResNet3_2,
+//! ResNet4_1a, ResNet5_1a) with the register blockings the paper describes
+//! (28 accumulators with reuse 28 → effective combination window ≈ 1;
+//! 21 accumulators with reuse 7 → effective CW ≈ 3, §VII-D).
+//!
+//! Kernel builds are *functional*: they allocate and fill matrices with
+//! controlled sparsity and return the expected output so callers can verify
+//! the simulator's numerical result exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod gemm;
+pub mod lstm;
+pub mod shapes;
+pub mod types;
+
+pub use conv::ConvShape;
+pub use gemm::{BuiltKernel, GemmKernelSpec, GemmWorkload};
+pub use lstm::LstmShape;
+pub use types::{BroadcastPattern, Phase, Precision, Region, RegionRole};

@@ -1,0 +1,104 @@
+//! LSTM cells lowered to GEMM workloads.
+//!
+//! An LSTM cell computes the four gates as one GEMM: `[4H x (I+H)]` weights
+//! times the concatenated `[input; hidden]` activations (§II-A). DNNL
+//! broadcasts the activations and streams the weight vectors, so activation
+//! sparsity (dropout, 20% in GNMT) is broadcasted sparsity and pruned
+//! weights are non-broadcasted sparsity (Table III).
+//!
+//! Unlike convolutions, the weight matrix is touched once per time step —
+//! `reuse_b` is false and the kernel streams `B` from memory, giving LSTMs
+//! a lower compute-to-memory ratio. This is why the paper's LSTM speedups
+//! cap earlier than the CNNs' (§VII-A: with 2 VPUs the speedup caps once
+//! weights are ~20% pruned; with 1 VPU it keeps growing until ~60%).
+
+use crate::gemm::{GemmKernelSpec, GemmWorkload};
+use crate::types::{BroadcastPattern, Phase, Precision};
+use serde::{Deserialize, Serialize};
+
+/// An LSTM cell shape.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LstmShape {
+    /// Cell name (e.g. `"GNMT enc0"`).
+    pub name: String,
+    /// Input feature size.
+    pub input: usize,
+    /// Hidden state size.
+    pub hidden: usize,
+    /// Batch rows processed per step.
+    pub batch: usize,
+    /// Occurrences (layers x unrolled steps represented by this shape).
+    pub count: usize,
+}
+
+impl LstmShape {
+    /// Creates a shape.
+    pub fn new(
+        name: impl Into<String>,
+        input: usize,
+        hidden: usize,
+        batch: usize,
+        count: usize,
+    ) -> Self {
+        LstmShape { name: name.into(), input, hidden, batch, count }
+    }
+
+    /// Multiply-accumulate FLOPs of the cell GEMM (2 per MAC) times count.
+    pub fn flops(&self) -> f64 {
+        2.0 * (4 * self.hidden * (self.input + self.hidden) * self.batch) as f64
+            * self.count as f64
+    }
+
+    /// Builds the (scaled-down) GEMM workload for `phase`.
+    ///
+    /// Forward and backward LSTM phases are merged in DNNL (Table III);
+    /// [`Phase::BackwardInput`] and [`Phase::BackwardWeights`] both map to
+    /// the same backward cell GEMM shape here.
+    pub fn workload(&self, _phase: Phase, precision: Precision) -> GemmWorkload {
+        // 4 vector columns over the 4H gate outputs, 6 batch rows.
+        let spec = GemmKernelSpec {
+            m_tiles: 6,
+            n_vecs: 4,
+            pattern: BroadcastPattern::Explicit,
+            precision,
+        };
+        let k_total = (self.input + self.hidden).min(128) & !1;
+        GemmWorkload {
+            name: format!("{} {}", self.name, precision),
+            spec,
+            k_total,
+            tiles: 24,
+            // Each weight panel is reused by ~12 batch-row tiles, then the
+            // next panel streams from memory: arithmetic intensity matches a
+            // batched LSTM cell, so the kernel is barely compute-bound when
+            // dense and hits the bandwidth roof once SAVE skips work.
+            b_panel_tiles: 12,
+            a_sparsity: 0.0,
+            b_sparsity: 0.0,
+            use_write_masks: false,
+            software_bs_skip: false,
+            compressed_b: false,
+            a_cluster: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_streams_weights() {
+        let s = LstmShape::new("GNMT enc0", 1024, 1024, 128, 8);
+        let w = s.workload(Phase::Forward, Precision::F32);
+        assert!(!w.reuse_b(), "LSTM weights must stream to be memory-bound");
+        assert_eq!(w.b_panels(), 2);
+        assert!(w.spec.fits_register_file());
+    }
+
+    #[test]
+    fn flops_formula() {
+        let s = LstmShape::new("x", 1024, 1024, 64, 1);
+        assert_eq!(s.flops(), 2.0 * (4 * 1024 * 2048 * 64) as f64);
+    }
+}

@@ -1,0 +1,120 @@
+//! Layer tables for the paper's workloads: VGG16, ResNet-50 and GNMT (§VI).
+//!
+//! ResNet-50's 53 convolutions are listed as 24 unique shapes with
+//! occurrence counts; names follow the paper's `ResNet<stage>_<block>`
+//! convention (`a`/`b` for the 1x1 bottleneck convs, bare for the 3x3,
+//! `ds` for the downsample projection), so the individually studied kernels
+//! — ResNet2_2, ResNet3_2, ResNet4_1a, ResNet5_1a — resolve here.
+
+use crate::conv::ConvShape;
+use crate::lstm::LstmShape;
+
+/// The 13 VGG16 convolution layers (ImageNet 224x224).
+pub fn vgg16() -> Vec<ConvShape> {
+    vec![
+        ConvShape::new("VGG1_1", 3, 64, 224, 3, 1, 1),
+        ConvShape::new("VGG1_2", 64, 64, 224, 3, 1, 1),
+        ConvShape::new("VGG2_1", 64, 128, 112, 3, 1, 1),
+        ConvShape::new("VGG2_2", 128, 128, 112, 3, 1, 1),
+        ConvShape::new("VGG3_1", 128, 256, 56, 3, 1, 1),
+        ConvShape::new("VGG3_2", 256, 256, 56, 3, 1, 1),
+        ConvShape::new("VGG3_3", 256, 256, 56, 3, 1, 1),
+        ConvShape::new("VGG4_1", 256, 512, 28, 3, 1, 1),
+        ConvShape::new("VGG4_2", 512, 512, 28, 3, 1, 1),
+        ConvShape::new("VGG4_3", 512, 512, 28, 3, 1, 1),
+        ConvShape::new("VGG5_1", 512, 512, 14, 3, 1, 1),
+        ConvShape::new("VGG5_2", 512, 512, 14, 3, 1, 1),
+        ConvShape::new("VGG5_3", 512, 512, 14, 3, 1, 1),
+    ]
+}
+
+/// The 53 ResNet-50 convolutions as 24 unique shapes with counts.
+pub fn resnet50() -> Vec<ConvShape> {
+    vec![
+        ConvShape::new("ResNet1", 3, 64, 224, 7, 2, 1),
+        // Stage 2 (56x56, 3 blocks).
+        ConvShape::new("ResNet2_1a", 64, 64, 56, 1, 1, 1),
+        ConvShape::new("ResNet2_2a", 256, 64, 56, 1, 1, 2),
+        ConvShape::new("ResNet2_2", 64, 64, 56, 3, 1, 3),
+        ConvShape::new("ResNet2_1b", 64, 256, 56, 1, 1, 3),
+        ConvShape::new("ResNet2_ds", 64, 256, 56, 1, 1, 1),
+        // Stage 3 (28x28, 4 blocks).
+        ConvShape::new("ResNet3_1a", 256, 128, 56, 1, 1, 1),
+        ConvShape::new("ResNet3_1", 128, 128, 56, 3, 2, 1),
+        ConvShape::new("ResNet3_2a", 512, 128, 28, 1, 1, 3),
+        ConvShape::new("ResNet3_2", 128, 128, 28, 3, 1, 3),
+        ConvShape::new("ResNet3_1b", 128, 512, 28, 1, 1, 4),
+        ConvShape::new("ResNet3_ds", 256, 512, 56, 1, 2, 1),
+        // Stage 4 (14x14, 6 blocks).
+        ConvShape::new("ResNet4_1a", 512, 256, 28, 1, 1, 1),
+        ConvShape::new("ResNet4_1", 256, 256, 28, 3, 2, 1),
+        ConvShape::new("ResNet4_2a", 1024, 256, 14, 1, 1, 5),
+        ConvShape::new("ResNet4_2", 256, 256, 14, 3, 1, 5),
+        ConvShape::new("ResNet4_1b", 256, 1024, 14, 1, 1, 6),
+        ConvShape::new("ResNet4_ds", 512, 1024, 28, 1, 2, 1),
+        // Stage 5 (7x7, 3 blocks).
+        ConvShape::new("ResNet5_1a", 1024, 512, 14, 1, 1, 1),
+        ConvShape::new("ResNet5_1", 512, 512, 14, 3, 2, 1),
+        ConvShape::new("ResNet5_2a", 2048, 512, 7, 1, 1, 2),
+        ConvShape::new("ResNet5_2", 512, 512, 7, 3, 1, 2),
+        ConvShape::new("ResNet5_1b", 512, 2048, 7, 1, 1, 3),
+        ConvShape::new("ResNet5_ds", 1024, 2048, 14, 1, 2, 1),
+    ]
+}
+
+/// GNMT's LSTM cells (8-layer encoder with a bidirectional first layer,
+/// 8-layer decoder, hidden size 1024, WMT'16 EN-DE). Counts fold in an
+/// average unrolled sequence length of 50 steps.
+pub fn gnmt(batch: usize) -> Vec<LstmShape> {
+    vec![
+        LstmShape::new("GNMT enc-bi", 1024, 1024, batch, 2 * 50),
+        LstmShape::new("GNMT enc", 1024, 1024, batch, 7 * 50),
+        LstmShape::new("GNMT dec", 2048, 1024, batch, 8 * 50),
+    ]
+}
+
+/// Looks up a convolution shape by name across both CNN tables.
+pub fn conv_by_name(name: &str) -> Option<ConvShape> {
+    vgg16().into_iter().chain(resnet50()).find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_has_13_layers() {
+        assert_eq!(vgg16().len(), 13);
+        assert!(vgg16().iter().all(|s| s.rs == 3 && s.stride == 1));
+    }
+
+    #[test]
+    fn resnet50_totals_53_convs() {
+        let total: usize = resnet50().iter().map(|s| s.count).sum();
+        assert_eq!(total, 53);
+        assert_eq!(resnet50().len(), 24);
+    }
+
+    #[test]
+    fn named_kernels_resolve() {
+        for n in ["ResNet2_2", "ResNet3_2", "ResNet4_1a", "ResNet5_1a"] {
+            assert!(conv_by_name(n).is_some(), "{n} missing");
+        }
+        assert!(conv_by_name("ResNet9_9").is_none());
+    }
+
+    #[test]
+    fn resnet_channel_chaining_is_consistent() {
+        // Each stage's 1x1b output must feed the next stage's 1x1a input.
+        assert_eq!(conv_by_name("ResNet2_1b").unwrap().c_out, conv_by_name("ResNet3_1a").unwrap().c_in);
+        assert_eq!(conv_by_name("ResNet3_1b").unwrap().c_out, conv_by_name("ResNet4_1a").unwrap().c_in);
+        assert_eq!(conv_by_name("ResNet4_1b").unwrap().c_out, conv_by_name("ResNet5_1a").unwrap().c_in);
+    }
+
+    #[test]
+    fn gnmt_cells() {
+        let cells = gnmt(64);
+        assert_eq!(cells.len(), 3);
+        assert!(cells.iter().all(|c| c.hidden == 1024 && c.batch == 64));
+    }
+}

@@ -1,0 +1,100 @@
+//! Shared kernel vocabulary.
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of a kernel (§II-B).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Precision {
+    /// 16-lane FP32 VFMAs.
+    F32,
+    /// Mixed precision: BF16 multiplicands, FP32 accumulation
+    /// (`VDPBF16PS`-style).
+    Mixed,
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::F32 => write!(f, "FP32"),
+            Precision::Mixed => write!(f, "MP"),
+        }
+    }
+}
+
+/// How the broadcasted multiplicand reaches the VFMA (§II-B).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum BroadcastPattern {
+    /// `vbroadcastss` into a register, reused by several VFMAs — used when
+    /// the broadcasted scalar has high reuse.
+    Explicit,
+    /// The VFMA's memory operand broadcasts directly — used when reuse is
+    /// low; bound by both VFMA throughput and L1-D bandwidth (§IV-A).
+    Embedded,
+}
+
+/// The phase of training (or inference) a kernel implements (Table III).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Phase {
+    /// Forward propagation / inference.
+    Forward,
+    /// Back-propagation of input (dgrad).
+    BackwardInput,
+    /// Back-propagation of weights (wgrad).
+    BackwardWeights,
+}
+
+impl Phase {
+    /// All three phases in the order the paper reports them.
+    pub const ALL: [Phase; 3] = [Phase::Forward, Phase::BackwardInput, Phase::BackwardWeights];
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::Forward => write!(f, "fwd"),
+            Phase::BackwardInput => write!(f, "bwd-input"),
+            Phase::BackwardWeights => write!(f, "bwd-weights"),
+        }
+    }
+}
+
+/// What a memory region holds, so the runner can apply the paper's cache
+/// warm-up policy (§VI: the broadcast-side input — previous operation's
+/// output — is warm in L3; everything else is cold).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RegionRole {
+    /// The broadcast-side input (activations forward, gradients backward).
+    BroadcastInput,
+    /// The non-broadcasted multiplicand panel (weights / gradients).
+    VectorInput,
+    /// The kernel's output.
+    Output,
+}
+
+/// A memory region of a built kernel.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Region {
+    /// Base byte address in the kernel's functional memory.
+    pub base: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// What it holds.
+    pub role: RegionRole,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Precision::F32.to_string(), "FP32");
+        assert_eq!(Precision::Mixed.to_string(), "MP");
+        assert_eq!(Phase::BackwardInput.to_string(), "bwd-input");
+    }
+
+    #[test]
+    fn all_phases_listed() {
+        assert_eq!(Phase::ALL.len(), 3);
+    }
+}

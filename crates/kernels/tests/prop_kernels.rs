@@ -1,0 +1,130 @@
+//! Property-based tests for the kernel generators: the built program, the
+//! functional memory and the reference output must always be mutually
+//! consistent, for arbitrary blockings, sizes and sparsity.
+
+use proptest::prelude::*;
+use save_isa::{Inst, LANES};
+use save_kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision};
+
+fn workload_strategy() -> impl Strategy<Value = GemmWorkload> {
+    (
+        1usize..10,
+        1usize..4,
+        1usize..16,
+        1usize..4,
+        0.0f64..0.95,
+        0.0f64..0.95,
+        any::<bool>(),
+        any::<bool>(),
+        1usize..5,
+    )
+        .prop_map(|(m, n, k, tiles, a_s, b_s, emb, mp, reuse)| GemmWorkload {
+            name: "prop".into(),
+            spec: GemmKernelSpec {
+                m_tiles: m,
+                n_vecs: n,
+                pattern: if emb { BroadcastPattern::Embedded } else { BroadcastPattern::Explicit },
+                precision: if mp { Precision::Mixed } else { Precision::F32 },
+            },
+            k_total: 2 * k,
+            tiles,
+            b_panel_tiles: reuse,
+            a_sparsity: a_s,
+            b_sparsity: b_s,
+            use_write_masks: false,
+            software_bs_skip: false,
+            compressed_b: false,
+            a_cluster: 1,
+        })
+        .prop_filter("register budget", |w| w.spec.fits_register_file())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Build invariants: FMA count matches the analytic count; every
+    /// register index stays within the 32 architectural registers; the
+    /// reference output length matches the C region; regions are disjoint.
+    #[test]
+    fn build_invariants(w in workload_strategy(), seed in any::<u64>()) {
+        let b = w.build(seed);
+        prop_assert_eq!(b.program.fma_count() as u64, w.fma_count());
+        for inst in b.program.iter() {
+            if let Inst::VfmaF32 { acc, .. } | Inst::VdpBf16 { acc, .. } = inst {
+                prop_assert!(acc.index() < 32);
+            }
+        }
+        let nb = w.spec.n_vecs * LANES;
+        prop_assert_eq!(b.expected.len(), w.tiles * w.spec.m_tiles * nb);
+        for (i, a) in b.regions.iter().enumerate() {
+            prop_assert!(a.bytes > 0);
+            for bb in &b.regions[i + 1..] {
+                let disjoint = a.base + a.bytes <= bb.base || bb.base + bb.bytes <= a.base;
+                prop_assert!(disjoint, "regions overlap");
+            }
+        }
+    }
+
+    /// The reference equals an independent recomputation from the values in
+    /// functional memory (F32 path).
+    #[test]
+    fn f32_reference_recomputes(w in workload_strategy(), seed in any::<u64>()) {
+        prop_assume!(w.spec.precision == Precision::F32);
+        let b = w.build(seed);
+        let (m, n, k) = (w.spec.m_tiles, w.spec.n_vecs, w.k_total);
+        let nb = n * LANES;
+        let a_base = b.regions[0].base;
+        let b_base = b.regions[1].base;
+        let panel = |t: usize| t / w.b_panel_tiles.min(w.tiles).max(1);
+        for t in 0..w.tiles {
+            for i in 0..m {
+                for col in 0..nb {
+                    let mut c = 0.0f32;
+                    for kk in 0..k {
+                        let av = b.mem.read_f32(a_base + 4 * ((t * m + i) * k + kk) as u64);
+                        let bv = b.mem.read_f32(b_base + 4 * ((panel(t) * k + kk) * nb + col) as u64);
+                        c = av.mul_add(bv, c);
+                    }
+                    prop_assert_eq!(b.expected[(t * m + i) * nb + col].to_bits(), c.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Requested sparsity is realized statistically (large-sample cases).
+    #[test]
+    fn sparsity_is_realized(a_s in 0.1f64..0.9, b_s in 0.1f64..0.9, seed in any::<u64>()) {
+        let w = GemmWorkload::dense(
+            "s",
+            GemmKernelSpec {
+                m_tiles: 8,
+                n_vecs: 2,
+                pattern: BroadcastPattern::Explicit,
+                precision: Precision::F32,
+            },
+            64,
+            4,
+        )
+        .with_sparsity(a_s, b_s);
+        let b = w.build(seed);
+        let frac = |r: &save_kernels::Region| {
+            let n = r.bytes / 4;
+            let z = (0..n).filter(|i| b.mem.read_f32(r.base + 4 * i) == 0.0).count();
+            z as f64 / n as f64
+        };
+        prop_assert!((frac(&b.regions[0]) - a_s).abs() < 0.12);
+        prop_assert!((frac(&b.regions[1]) - b_s).abs() < 0.12);
+    }
+
+    /// Builds are deterministic in the seed.
+    #[test]
+    fn build_is_deterministic(w in workload_strategy(), seed in any::<u64>()) {
+        let b1 = w.build(seed);
+        let b2 = w.build(seed);
+        prop_assert_eq!(b1.expected.len(), b2.expected.len());
+        for (x, y) in b1.expected.iter().zip(b2.expected.iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        prop_assert_eq!(b1.program.len(), b2.program.len());
+    }
+}

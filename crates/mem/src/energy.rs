@@ -1,0 +1,147 @@
+//! Storage overhead and energy model behind Table II of the paper.
+//!
+//! The paper sizes SAVE's added storage analytically and models the
+//! broadcast-cache leakage power / access energy with CACTI 7.0 at 22 nm.
+//! The sizes are pure arithmetic, reproduced exactly here; the CACTI-derived
+//! energy numbers are tabulated constants (we cannot re-run CACTI, see
+//! DESIGN.md substitutions).
+
+use serde::{Deserialize, Serialize};
+
+/// Whether the configuration supports only FP32 VFMAs or also
+/// mixed-precision (BF16) VFMAs — the MP support doubles the per-VPU
+/// bookkeeping (32 multiplicand lanes vs 16) and widens the B$ masks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PrecisionSupport {
+    /// FP32 only.
+    Fp32Only,
+    /// FP32 and BF16 mixed precision.
+    Fp32AndMixed,
+}
+
+/// Inputs of the storage model (defaults match the evaluated machine).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StorageModel {
+    /// Vector lanes per VPU for bookkeeping (16 FP32 / 32 BF16 MLs).
+    pub fp32_lanes: u32,
+    /// VPU pipeline stages for FP32 VFMAs (latency 4).
+    pub fp32_stages: u32,
+    /// VPU pipeline stages for mixed-precision VFMAs (latency 6).
+    pub mp_stages: u32,
+    /// Reservation-station entries (Table I: 97).
+    pub rs_entries: u32,
+    /// Broadcast-cache entries (32).
+    pub bcast_entries: u32,
+    /// B$ tag bits per entry.
+    pub tag_bits: u32,
+}
+
+impl Default for StorageModel {
+    fn default() -> Self {
+        StorageModel {
+            fp32_lanes: 16,
+            fp32_stages: 4,
+            mp_stages: 6,
+            rs_entries: 97,
+            bcast_entries: 32,
+            tag_bits: 53,
+        }
+    }
+}
+
+/// Leakage power (mW) and per-access energy (nJ) of one storage structure,
+/// CACTI 7.0 at 22 nm (Table II constants).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyFigures {
+    /// Leakage power in mW.
+    pub leakage_mw: f64,
+    /// Energy per access in nJ.
+    pub access_nj: f64,
+}
+
+impl StorageModel {
+    fn log2_ceil(x: u32) -> u32 {
+        32 - (x - 1).leading_zeros()
+    }
+
+    /// Per-VPU temp bookkeeping storage in bytes: `V * P * log2(N_RS)` bits
+    /// (§III), where MP support tracks all 32 multiplicand lanes across the
+    /// 6-stage MP pipeline.
+    pub fn temp_bytes(&self, support: PrecisionSupport) -> u64 {
+        let idx_bits = Self::log2_ceil(self.rs_entries);
+        let bits = match support {
+            PrecisionSupport::Fp32Only => self.fp32_lanes * self.fp32_stages * idx_bits,
+            PrecisionSupport::Fp32AndMixed => (2 * self.fp32_lanes) * self.mp_stages * idx_bits,
+        };
+        (bits / 8) as u64
+    }
+
+    /// Mask-design B$ storage in bytes: per entry, a tag plus one zero bit
+    /// per element (16 elements of 4 B for FP32, 32 elements of 2 B for MP).
+    pub fn bcast_mask_bytes(&self, support: PrecisionSupport) -> u64 {
+        let mask_bits = match support {
+            PrecisionSupport::Fp32Only => 16,
+            PrecisionSupport::Fp32AndMixed => 32,
+        };
+        (self.bcast_entries * (self.tag_bits + mask_bits) / 8) as u64
+    }
+
+    /// Data-design B$ storage in bytes: per entry, a tag plus the 64-byte
+    /// line (independent of precision support).
+    pub fn bcast_data_bytes(&self, _support: PrecisionSupport) -> u64 {
+        (self.bcast_entries * (self.tag_bits + 512) / 8) as u64
+    }
+
+    /// CACTI-derived energy figures for the mask-design B$ (Table II).
+    pub fn bcast_mask_energy(&self, support: PrecisionSupport) -> EnergyFigures {
+        match support {
+            PrecisionSupport::Fp32Only => EnergyFigures { leakage_mw: 0.24, access_nj: 2.9e-4 },
+            PrecisionSupport::Fp32AndMixed => {
+                EnergyFigures { leakage_mw: 0.29, access_nj: 3.8e-4 }
+            }
+        }
+    }
+
+    /// CACTI-derived energy figures for the data-design B$ (Table II).
+    pub fn bcast_data_energy(&self, _support: PrecisionSupport) -> EnergyFigures {
+        EnergyFigures { leakage_mw: 3.2, access_nj: 1.6e-2 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_fp32_column() {
+        let m = StorageModel::default();
+        assert_eq!(m.temp_bytes(PrecisionSupport::Fp32Only), 56);
+        assert_eq!(m.bcast_mask_bytes(PrecisionSupport::Fp32Only), 276);
+        assert_eq!(m.bcast_data_bytes(PrecisionSupport::Fp32Only), 2260);
+    }
+
+    #[test]
+    fn table2_mixed_column() {
+        let m = StorageModel::default();
+        assert_eq!(m.temp_bytes(PrecisionSupport::Fp32AndMixed), 168);
+        assert_eq!(m.bcast_mask_bytes(PrecisionSupport::Fp32AndMixed), 340);
+        assert_eq!(m.bcast_data_bytes(PrecisionSupport::Fp32AndMixed), 2260);
+    }
+
+    #[test]
+    fn energy_constants() {
+        let m = StorageModel::default();
+        let e = m.bcast_mask_energy(PrecisionSupport::Fp32Only);
+        assert_eq!(e.leakage_mw, 0.24);
+        let e = m.bcast_data_energy(PrecisionSupport::Fp32AndMixed);
+        assert_eq!(e.access_nj, 1.6e-2);
+    }
+
+    #[test]
+    fn log2_of_rs_entries() {
+        // 97 RS entries need 7 index bits.
+        assert_eq!(StorageModel::log2_ceil(97), 7);
+        assert_eq!(StorageModel::log2_ceil(64), 6);
+        assert_eq!(StorageModel::log2_ceil(65), 7);
+    }
+}

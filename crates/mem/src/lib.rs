@@ -1,0 +1,48 @@
+//! # save-mem — memory-hierarchy substrate for the SAVE simulator
+//!
+//! The SAVE paper (Gong et al., MICRO 2020) evaluates on a simulated 28-core
+//! Skylake-class machine (Table I). No off-the-shelf Rust cycle-level memory
+//! model exists, so this crate implements the whole hierarchy from scratch:
+//!
+//! * generic set-associative [`Cache`] with LRU and SRRIP replacement;
+//! * a private-L1/L2, shared NUCA L3 composition ([`CoreMemory`] +
+//!   [`Uncore`]) with a 2-D mesh [`noc::Mesh`] (XY routing, 2-cycle hops) and
+//!   a banked [`dram::Dram`] bandwidth/latency model (119.2 GB/s, 6 channels,
+//!   50 ns);
+//! * a simple L1 [`tlb::Tlb`] and a stream prefetcher (real DNNL kernels rely
+//!   on hardware prefetching; without it every kernel is DRAM-latency-bound
+//!   and the paper's compute-bound speedup shapes cannot appear);
+//! * the SAVE [`BroadcastCache`] in both of the paper's designs (§IV-A,
+//!   Fig 6): lines holding *data*, or lines holding 16-bit *zero masks*;
+//! * the storage/energy model behind Table II ([`energy`]).
+//!
+//! All uncore timing is expressed in nanoseconds: the paper notes "the core
+//! frequency affects L1 and L2 but not L3" (§VI), so L1/L2 latencies are in
+//! core cycles while L3/NoC/DRAM latencies are wall-clock and are converted
+//! at whatever frequency the core runs (1.7 GHz with 2 VPUs, 2.1 GHz with 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bcast_cache;
+pub mod cache;
+pub mod dram;
+pub mod energy;
+pub mod hierarchy;
+pub mod noc;
+pub mod tlb;
+
+pub use bcast_cache::{BcastAccess, BcastDesign, BroadcastCache};
+pub use cache::{Cache, CacheConfig, CacheStats, Replacement};
+pub use dram::{Dram, DramConfig};
+pub use hierarchy::{CoreMemory, LoadClass, LoadResult, MemConfig, Uncore, WarmLevel};
+pub use noc::Mesh;
+pub use tlb::Tlb;
+
+/// Cache-line size in bytes (fixed at 64 across the model, matching §IV-A).
+pub const LINE_BYTES: u64 = 64;
+
+/// Converts a byte address to a line address.
+pub fn line_of(addr: u64) -> u64 {
+    addr / LINE_BYTES
+}

@@ -1,0 +1,104 @@
+//! A small fully-associative L1 TLB (Fig 3 shows the L1 TLB on the broadcast
+//! path). GEMM working sets are contiguous, so TLB misses are rare; we model
+//! a fixed-entry LRU TLB with a page-walk penalty so the cost is represented
+//! without a full page-table model.
+
+use serde::{Deserialize, Serialize};
+
+/// TLB counters.
+#[derive(Clone, Copy, Default, Debug, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Translations that hit.
+    pub hits: u64,
+    /// Translations that missed (charged the walk penalty).
+    pub misses: u64,
+}
+
+/// A fully-associative, LRU, fixed-page-size TLB.
+///
+/// ```
+/// use save_mem::Tlb;
+/// let mut t = Tlb::new(64, 4096, 20.0);
+/// assert!(t.translate(0x1234) > 0.0); // first touch walks
+/// assert_eq!(t.translate(0x1000), 0.0); // same page hits
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Vec<(u64, u64)>, // (vpn, last-use tick)
+    capacity: usize,
+    page_bytes: u64,
+    walk_ns: f64,
+    tick: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries over `page_bytes` pages and a
+    /// `walk_ns` miss penalty.
+    pub fn new(capacity: usize, page_bytes: u64, walk_ns: f64) -> Self {
+        Tlb { entries: Vec::new(), capacity, page_bytes, walk_ns, tick: 0, stats: TlbStats::default() }
+    }
+
+    /// Translates `addr`; returns the extra latency in ns (0 on hit).
+    pub fn translate(&mut self, addr: u64) -> f64 {
+        self.tick += 1;
+        let vpn = addr / self.page_bytes;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == vpn) {
+            e.1 = self.tick;
+            self.stats.hits += 1;
+            return 0.0;
+        }
+        self.stats.misses += 1;
+        if self.entries.len() == self.capacity {
+            let lru =
+                self.entries.iter().enumerate().min_by_key(|(_, (_, t))| *t).map(|(i, _)| i).unwrap();
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((vpn, self.tick));
+        self.walk_ns
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Clears contents and counters.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.stats = TlbStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_same_page() {
+        let mut t = Tlb::new(4, 4096, 20.0);
+        assert_eq!(t.translate(100), 20.0);
+        assert_eq!(t.translate(4000), 0.0);
+        assert_eq!(t.translate(4096), 20.0); // next page
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2, 4096, 20.0);
+        t.translate(0); // page 0
+        t.translate(4096); // page 1
+        t.translate(0); // refresh page 0
+        t.translate(8192); // page 2 evicts page 1
+        assert_eq!(t.translate(0), 0.0); // page 0 still in
+        assert_eq!(t.translate(4096), 20.0); // page 1 was evicted
+    }
+
+    #[test]
+    fn stats_count() {
+        let mut t = Tlb::new(4, 4096, 20.0);
+        t.translate(0);
+        t.translate(1);
+        assert_eq!(t.stats().misses, 1);
+        assert_eq!(t.stats().hits, 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the memory substrate: model-checked LRU,
+//! capacity invariants, DRAM queueing, mesh geometry and B$ consistency.
+
+use proptest::prelude::*;
+use save_mem::{BcastAccess, BcastDesign, BroadcastCache, Cache, CacheConfig, Dram, DramConfig, Mesh, Replacement, Tlb};
+use std::collections::VecDeque;
+
+/// Reference LRU model: per-set recency queues.
+struct LruModel {
+    sets: usize,
+    ways: usize,
+    queues: Vec<VecDeque<u64>>,
+}
+
+impl LruModel {
+    fn new(sets: usize, ways: usize) -> Self {
+        LruModel { sets, ways, queues: vec![VecDeque::new(); sets] }
+    }
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets as u64) as usize
+    }
+    fn access(&mut self, line: u64) -> bool {
+        let s = self.set_of(line);
+        let q = &mut self.queues[s];
+        if let Some(pos) = q.iter().position(|&l| l == line) {
+            q.remove(pos);
+            q.push_back(line);
+            true
+        } else {
+            false
+        }
+    }
+    fn fill(&mut self, line: u64) -> Option<u64> {
+        let s = self.set_of(line);
+        if self.access(line) {
+            return None;
+        }
+        let ways = self.ways;
+        let q = &mut self.queues[s];
+        let evicted = if q.len() == ways { q.pop_front() } else { None };
+        q.push_back(line);
+        evicted
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Access(u64),
+    Fill(u64),
+    Invalidate(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64).prop_map(Op::Access),
+        (0u64..64).prop_map(Op::Fill),
+        (0u64..64).prop_map(Op::Invalidate),
+    ]
+}
+
+proptest! {
+    /// The LRU cache matches a reference recency-queue model exactly.
+    #[test]
+    fn lru_cache_matches_model(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let cfg = CacheConfig { capacity_bytes: 16 * 64, ways: 4, replacement: Replacement::Lru };
+        let mut cache = Cache::new(cfg);
+        let mut model = LruModel::new(cfg.sets(), cfg.ways);
+        for op in ops {
+            match op {
+                Op::Access(l) => {
+                    prop_assert_eq!(cache.access(l), model.access(l), "access {}", l);
+                }
+                Op::Fill(l) => {
+                    prop_assert_eq!(cache.fill(l), model.fill(l), "fill {}", l);
+                }
+                Op::Invalidate(l) => {
+                    let present = model.access(l);
+                    if present {
+                        let s = model.set_of(l);
+                        let pos = model.queues[s].iter().position(|&x| x == l).unwrap();
+                        model.queues[s].remove(pos);
+                    }
+                    prop_assert_eq!(cache.invalidate(l), present);
+                }
+            }
+        }
+    }
+
+    /// Any replacement policy keeps residency within capacity, and a line
+    /// just filled is resident.
+    #[test]
+    fn capacity_never_exceeded(
+        lines in prop::collection::vec(0u64..1000, 1..400),
+        srrip in any::<bool>()
+    ) {
+        let cfg = CacheConfig {
+            capacity_bytes: 8 * 64,
+            ways: 2,
+            replacement: if srrip { Replacement::Srrip } else { Replacement::Lru },
+        };
+        let mut cache = Cache::new(cfg);
+        for l in lines {
+            cache.fill(l);
+            prop_assert!(cache.contains(l));
+            prop_assert!(cache.resident_lines() <= 8);
+        }
+    }
+
+    /// DRAM: completion is never before `now + latency`, and per-channel
+    /// completions are non-decreasing.
+    #[test]
+    fn dram_completion_ordering(reqs in prop::collection::vec((0u64..60, 0.0f64..1000.0), 1..100)) {
+        let mut d = Dram::new(DramConfig::default());
+        let mut last_per_channel = [0.0f64; 6];
+        let mut reqs = reqs;
+        // Issue in time order per the model's contract.
+        reqs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for (line, now) in reqs {
+            let done = d.access_line(line, now, false);
+            prop_assert!(done >= now + 50.0 - 1e-9);
+            let ch = (line % 6) as usize;
+            prop_assert!(done >= last_per_channel[ch] - 1e-9);
+            last_per_channel[ch] = done;
+        }
+    }
+
+    /// Mesh hop counts are a metric: symmetric, zero on the diagonal, and
+    /// satisfy the triangle inequality.
+    #[test]
+    fn mesh_is_a_metric(cores in 2usize..40, a in 0usize..40, b in 0usize..40, c in 0usize..40) {
+        let m = Mesh::for_tiles(cores, 2, 1.7);
+        let n = m.tiles();
+        let (a, b, c) = (a % n, b % n, c % n);
+        prop_assert_eq!(m.hops(a, a), 0);
+        prop_assert_eq!(m.hops(a, b), m.hops(b, a));
+        prop_assert!(m.hops(a, c) <= m.hops(a, b) + m.hops(b, c));
+    }
+
+    /// The TLB charges the walk penalty exactly on first touch of a page
+    /// within its capacity window.
+    #[test]
+    fn tlb_within_capacity_never_rewalks(pages in prop::collection::vec(0u64..8, 1..100)) {
+        let mut t = Tlb::new(16, 4096, 20.0);
+        let mut seen = std::collections::HashSet::new();
+        for p in pages {
+            let lat = t.translate(p * 4096);
+            // 8 distinct pages < 16 entries: once walked, never again.
+            if seen.contains(&p) {
+                prop_assert_eq!(lat, 0.0);
+            } else {
+                prop_assert_eq!(lat, 20.0);
+                seen.insert(p);
+            }
+        }
+    }
+
+    /// B$ `peek` is a pure function of state: it always predicts what
+    /// `probe` returns, and a fill makes subsequent probes of that line hit.
+    #[test]
+    fn bcast_peek_predicts_probe(
+        addrs in prop::collection::vec(0u64..(64 * 64), 1..200),
+        masks in prop::collection::vec(any::<u16>(), 1..200),
+        data_design in any::<bool>()
+    ) {
+        let design = if data_design { BcastDesign::Data } else { BcastDesign::Masks };
+        let mut b = BroadcastCache::new(32, design);
+        for (addr, mask) in addrs.iter().zip(masks.iter().cycle()) {
+            let addr = addr / 4 * 4;
+            let peeked = b.peek(addr);
+            let probed = b.probe(addr, *mask);
+            prop_assert_eq!(peeked, probed);
+            if probed == BcastAccess::Miss {
+                b.fill(addr, *mask);
+                prop_assert_ne!(b.peek(addr), BcastAccess::Miss);
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # save-sim — simulation driver and end-to-end estimation
+//!
+//! This crate ties the core model, memory hierarchy, kernels and sparsity
+//! models into the paper's evaluation methodology (§VI):
+//!
+//! 1. [`runner`] executes one kernel on one simulated machine operating
+//!    point (baseline 2 VPUs @ 1.7 GHz, SAVE 2 VPUs @ 1.7 GHz, SAVE 1 VPU @
+//!    2.1 GHz) in either the fast *symmetric* 28-core mode or the
+//!    [`multicore`] *detailed* mode that cycle-interleaves real cores over
+//!    the shared NUCA L3 + mesh + DRAM;
+//! 2. [`surface`] sweeps a kernel over a 2-D grid of (broadcasted,
+//!    non-broadcasted) sparsity and interpolates bilinearly — the paper's
+//!    "2D surface of execution times" (§VI);
+//! 3. [`net`] composes the workloads into networks and encodes Table III's
+//!    sparsity roles per phase;
+//! 4. [`estimate`] produces the end-to-end inference and training numbers of
+//!    Fig 14, including the static (per-epoch) and dynamic (per-kernel)
+//!    1-vs-2-VPU selection of §IV-D.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod multicore;
+pub mod net;
+pub mod parallel;
+pub mod policy;
+pub mod power;
+pub mod runner;
+pub mod surface;
+
+pub use estimate::{Estimator, EstimatorConfig, InferenceEstimate, TrainingEstimate};
+pub use net::{LayerShape, Network};
+pub use policy::{PolicyOutcome, VpuPolicy};
+pub use power::{EnergyBreakdown, PowerModel};
+pub use runner::{ConfigKind, KernelResult, MachineConfig, MachineMode};
+pub use surface::Surface;

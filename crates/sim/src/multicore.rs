@@ -1,0 +1,131 @@
+//! Detailed multicore mode: N cores cycle-interleaved over one shared
+//! uncore (NUCA L3 slices + mesh + DRAM channels).
+//!
+//! Each core runs its own instance of the kernel (data-parallel tiles, as
+//! DNNL parallelizes a layer across cores) with a distinct data seed; the
+//! shared structures see each core's buffers as distinct physical memory.
+//! The kernel's wall-clock time is the slowest core's finish time — exactly
+//! how a parallel layer completes.
+
+use crate::runner::{warm_regions, ConfigKind, KernelResult, MachineConfig};
+use save_core::Core;
+use save_mem::{CoreMemory, Uncore};
+
+/// Runs `w` on every core of a detailed machine; returns the slowest core's
+/// result (with its stats).
+///
+/// # Panics
+/// Panics if `verify` is set and any core's output mismatches its reference.
+pub fn run_multicore(
+    w: &save_kernels::GemmWorkload,
+    kind: ConfigKind,
+    machine: &MachineConfig,
+    seed: u64,
+    verify: bool,
+) -> KernelResult {
+    let cfg = kind.core_config();
+    let n = machine.cores.max(1);
+    let mut uncore = Uncore::new(&machine.mem, n);
+    let mut built: Vec<_> = (0..n).map(|c| w.build(seed.wrapping_add(c as u64))).collect();
+    let mut cmems: Vec<_> = (0..n)
+        .map(|c| {
+            let mut cm = CoreMemory::new(c, machine.mem, cfg.freq_ghz);
+            warm_regions(w, &built[c], &mut cm, &mut uncore);
+            cm
+        })
+        .collect();
+    let mut cores: Vec<_> = (0..n).map(|_| Core::new(cfg)).collect();
+    let mut outcomes: Vec<Option<save_core::RunOutcome>> = vec![None; n];
+
+    let mut remaining = n;
+    while remaining > 0 {
+        for c in 0..n {
+            if outcomes[c].is_some() {
+                continue;
+            }
+            let bk = &mut built[c];
+            if let Some(out) = cores[c].step(&bk.program, &mut bk.mem, &mut cmems[c], &mut uncore) {
+                outcomes[c] = Some(out);
+                remaining -= 1;
+            }
+        }
+    }
+
+    let mut verified = false;
+    if verify {
+        for (c, b) in built.iter().enumerate() {
+            if let Err((i, got, want)) = b.verify() {
+                panic!("core {c}: output mismatch at {i}: got {got} want {want}");
+            }
+        }
+        verified = true;
+    }
+    let slowest = outcomes
+        .into_iter()
+        .map(|o| o.unwrap())
+        .max_by_key(|o| o.stats.cycles)
+        .expect("at least one core");
+    KernelResult {
+        seconds: cfg.cycles_to_seconds(slowest.stats.cycles),
+        cycles: slowest.stats.cycles,
+        stats: slowest.stats,
+        verified,
+        completed: slowest.completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_kernel, MachineMode};
+    use save_kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision};
+
+    fn tiny() -> GemmWorkload {
+        GemmWorkload::dense(
+            "mc",
+            GemmKernelSpec {
+                m_tiles: 4,
+                n_vecs: 2,
+                pattern: BroadcastPattern::Explicit,
+                precision: Precision::F32,
+            },
+            16,
+            2,
+        )
+        .with_sparsity(0.2, 0.4)
+    }
+
+    #[test]
+    fn four_core_detailed_run_is_correct() {
+        let m = MachineConfig { cores: 4, mode: MachineMode::Detailed, ..Default::default() };
+        let r = run_kernel(&tiny(), ConfigKind::Save2Vpu, &m, 3, true);
+        assert!(r.completed && r.verified);
+    }
+
+    #[test]
+    fn contention_slows_cores_down() {
+        // The same kernel on a detailed 8-core machine (8 cores fighting for
+        // DRAM) must not be faster than on a detailed single-core machine.
+        let w = GemmWorkload {
+            b_panel_tiles: 1, // stream B: guarantees DRAM traffic
+            ..tiny()
+        };
+        let m1 = MachineConfig { cores: 1, mode: MachineMode::Detailed, ..Default::default() };
+        let m8 = MachineConfig { cores: 8, mode: MachineMode::Detailed, ..Default::default() };
+        let r1 = run_kernel(&w, ConfigKind::Baseline, &m1, 5, false);
+        let r8 = run_kernel(&w, ConfigKind::Baseline, &m8, 5, false);
+        assert!(r8.cycles >= r1.cycles, "8-core {} vs 1-core {}", r8.cycles, r1.cycles);
+    }
+
+    #[test]
+    fn symmetric_approximates_detailed() {
+        // The symmetric mode must land within a reasonable factor of the
+        // detailed mode for a compute-bound kernel.
+        let md = MachineConfig { cores: 4, mode: MachineMode::Detailed, ..Default::default() };
+        let ms = MachineConfig { cores: 4, mode: MachineMode::Symmetric, ..Default::default() };
+        let rd = run_kernel(&tiny(), ConfigKind::Baseline, &md, 9, false);
+        let rs = run_kernel(&tiny(), ConfigKind::Baseline, &ms, 9, false);
+        let ratio = rd.seconds / rs.seconds;
+        assert!((0.5..2.0).contains(&ratio), "detailed/symmetric ratio {ratio:.2}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Network composition and the Table III sparsity roles.
+
+use save_kernels::{ConvShape, GemmWorkload, LstmShape, Phase, Precision};
+use save_sparsity::{ActivationModel, NetKind, PruningSchedule};
+use serde::{Deserialize, Serialize};
+
+/// One layer of a network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum LayerShape {
+    /// A convolution layer.
+    Conv(ConvShape),
+    /// An LSTM cell.
+    Lstm(LstmShape),
+}
+
+impl LayerShape {
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        match self {
+            LayerShape::Conv(c) => &c.name,
+            LayerShape::Lstm(l) => &l.name,
+        }
+    }
+
+    /// Full-size FLOPs (occurrence-weighted).
+    pub fn flops(&self) -> f64 {
+        match self {
+            LayerShape::Conv(c) => c.flops(),
+            LayerShape::Lstm(l) => l.flops(),
+        }
+    }
+
+    /// The scaled-down kernel workload for `phase`.
+    pub fn workload(&self, phase: Phase, precision: Precision) -> GemmWorkload {
+        match self {
+            LayerShape::Conv(c) => c.workload(phase, precision),
+            LayerShape::Lstm(l) => l.workload(phase, precision),
+        }
+    }
+}
+
+/// Broadcast-side / vector-side sparsity of one kernel execution.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SparsityPoint {
+    /// Broadcasted-sparsity source level (operand A).
+    pub a: f64,
+    /// Non-broadcasted-sparsity source level (operand B).
+    pub b: f64,
+}
+
+/// A network instance: layers plus its training regime.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Network {
+    /// Which network / regime.
+    pub kind: NetKind,
+    /// The layers in order.
+    pub layers: Vec<LayerShape>,
+    /// The pruning schedule (dense networks use a never-pruning schedule).
+    pub schedule: PruningSchedule,
+    /// Number of epoch samples across training (per-epoch for the CNNs,
+    /// every 5K iterations for GNMT).
+    pub epochs: usize,
+}
+
+impl Network {
+    /// Builds the paper's network instances (§VI). `batch` applies to GNMT.
+    pub fn build(kind: NetKind) -> Network {
+        match kind {
+            NetKind::Vgg16Dense => Network {
+                kind,
+                layers: save_kernels::shapes::vgg16().into_iter().map(LayerShape::Conv).collect(),
+                schedule: PruningSchedule::dense(90.0),
+                epochs: 90,
+            },
+            NetKind::ResNet50Dense => Network {
+                kind,
+                layers: save_kernels::shapes::resnet50().into_iter().map(LayerShape::Conv).collect(),
+                schedule: PruningSchedule::dense(90.0),
+                epochs: 90,
+            },
+            NetKind::ResNet50Pruned => Network {
+                kind,
+                layers: save_kernels::shapes::resnet50().into_iter().map(LayerShape::Conv).collect(),
+                schedule: PruningSchedule::resnet50(),
+                epochs: 102,
+            },
+            NetKind::GnmtPruned => Network {
+                kind,
+                layers: save_kernels::shapes::gnmt(64).into_iter().map(LayerShape::Lstm).collect(),
+                schedule: PruningSchedule::gnmt(),
+                epochs: 68, // every 5K of 340K iterations
+            },
+        }
+    }
+
+    /// Training phases executed for `layer` (Table III):
+    /// the first conv layer has no input gradient to produce; LSTM forward
+    /// and backward are each one merged kernel.
+    pub fn phases(&self, layer: usize) -> Vec<Phase> {
+        match &self.layers[layer] {
+            LayerShape::Conv(_) => {
+                if layer == 0 {
+                    vec![Phase::Forward, Phase::BackwardWeights]
+                } else {
+                    vec![Phase::Forward, Phase::BackwardInput, Phase::BackwardWeights]
+                }
+            }
+            // For LSTMs "BackwardInput" stands for the merged backward pass.
+            LayerShape::Lstm(_) => vec![Phase::Forward, Phase::BackwardInput],
+        }
+    }
+
+    /// The sparsity the kernel for (`layer`, `phase`) sees at `progress`
+    /// (`0..=1`) of the way through training — the Table III role mapping:
+    ///
+    /// * forward: broadcast activations x weight vectors;
+    /// * backward-input: broadcast output-gradients x weight vectors;
+    /// * backward-weights: broadcast activations x gradient vectors.
+    pub fn sparsity_point(&self, layer: usize, phase: Phase, progress: f64) -> SparsityPoint {
+        let act = ActivationModel::new(self.kind);
+        let n = self.layers.len();
+        let w_s = self.schedule.sparsity_at(progress * self.schedule.total);
+        match &self.layers[layer] {
+            LayerShape::Conv(_) => match phase {
+                Phase::Forward => SparsityPoint { a: act.sparsity(layer, n, progress), b: w_s },
+                Phase::BackwardInput => {
+                    SparsityPoint { a: act.grad_sparsity(layer, n, progress), b: w_s }
+                }
+                Phase::BackwardWeights => SparsityPoint {
+                    a: act.sparsity(layer, n, progress),
+                    b: act.grad_sparsity(layer, n, progress),
+                },
+            },
+            LayerShape::Lstm(_) => {
+                // Dropout-induced 20% activation sparsity on the broadcast
+                // side in both merged passes; pruned weights on the vector
+                // side.
+                SparsityPoint { a: act.sparsity(layer.max(1), n.max(2), progress), b: w_s }
+            }
+        }
+    }
+
+    /// End-of-training sparsity used for inference (§VI).
+    pub fn inference_point(&self, layer: usize) -> SparsityPoint {
+        self.sparsity_point(layer, Phase::Forward, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn networks_have_expected_layer_counts() {
+        assert_eq!(Network::build(NetKind::Vgg16Dense).layers.len(), 13);
+        assert_eq!(Network::build(NetKind::ResNet50Dense).layers.len(), 24);
+        assert_eq!(Network::build(NetKind::GnmtPruned).layers.len(), 3);
+    }
+
+    #[test]
+    fn first_conv_layer_skips_backward_input() {
+        let net = Network::build(NetKind::Vgg16Dense);
+        assert_eq!(net.phases(0), vec![Phase::Forward, Phase::BackwardWeights]);
+        assert_eq!(net.phases(1).len(), 3);
+    }
+
+    #[test]
+    fn table3_dense_vgg16() {
+        let net = Network::build(NetKind::Vgg16Dense);
+        // Forward: BS only (dense weights).
+        let p = net.sparsity_point(5, Phase::Forward, 1.0);
+        assert!(p.a > 0.3 && p.b == 0.0);
+        // Backward input: BS only (ReLU gradients, dense weights).
+        let p = net.sparsity_point(5, Phase::BackwardInput, 1.0);
+        assert!(p.a > 0.3 && p.b == 0.0);
+        // Backward weights: BS and NBS.
+        let p = net.sparsity_point(5, Phase::BackwardWeights, 1.0);
+        assert!(p.a > 0.3 && p.b > 0.3);
+    }
+
+    #[test]
+    fn table3_pruned_resnet50() {
+        let net = Network::build(NetKind::ResNet50Pruned);
+        // Forward: BS (acts) + NBS (pruned weights).
+        let p = net.sparsity_point(5, Phase::Forward, 1.0);
+        assert!(p.a > 0.1 && (p.b - 0.8).abs() < 1e-9);
+        // Backward input: NBS only — the paper's only NBS-without-BS case.
+        let p = net.sparsity_point(5, Phase::BackwardInput, 1.0);
+        assert_eq!(p.a, 0.0);
+        assert!((p.b - 0.8).abs() < 1e-9);
+        // Backward weights: BS only (BatchNorm kills gradient sparsity).
+        let p = net.sparsity_point(5, Phase::BackwardWeights, 1.0);
+        assert!(p.a > 0.1 && p.b == 0.0);
+    }
+
+    #[test]
+    fn table3_dense_resnet50_backward_input_has_no_sparsity() {
+        let net = Network::build(NetKind::ResNet50Dense);
+        let p = net.sparsity_point(5, Phase::BackwardInput, 0.9);
+        assert_eq!(p, SparsityPoint { a: 0.0, b: 0.0 });
+    }
+
+    #[test]
+    fn table3_gnmt() {
+        let net = Network::build(NetKind::GnmtPruned);
+        for phase in [Phase::Forward, Phase::BackwardInput] {
+            let p = net.sparsity_point(1, phase, 1.0);
+            assert!((p.a - 0.2).abs() < 1e-9);
+            assert!((p.b - 0.9).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pruning_ramps_during_training() {
+        let net = Network::build(NetKind::ResNet50Pruned);
+        let early = net.sparsity_point(5, Phase::Forward, 0.2).b; // epoch ~20
+        let mid = net.sparsity_point(5, Phase::Forward, 0.5).b; // epoch 51
+        assert_eq!(early, 0.0);
+        assert!(mid > 0.3 && mid < 0.8);
+    }
+}

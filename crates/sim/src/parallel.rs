@@ -1,0 +1,72 @@
+//! A small work-stealing-free parallel map for independent simulations.
+//!
+//! Every kernel simulation is independent (own core, own memory model), so
+//! the sweep driver fans jobs out over host threads with a shared atomic
+//! cursor. `crossbeam` scoped threads keep borrows simple.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, in parallel over up to `threads` host threads
+/// (defaults to the available parallelism when `threads == 0`). Results are
+/// returned in input order.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slot_ptrs: Vec<parking_lot::Mutex<&mut Option<R>>> =
+        slots.iter_mut().map(parking_lot::Mutex::new).collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slot_ptrs[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    drop(slot_ptrs);
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let items = vec![1, 2, 3];
+        assert_eq!(parallel_map(&items, 1, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = vec![];
+        assert!(parallel_map(&items, 4, |&x| x).is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Single-kernel execution on a configured machine.
+
+use save_core::{Core, CoreConfig, CoreStats, SchedulerKind};
+use save_kernels::{GemmWorkload, RegionRole};
+use save_mem::{CoreMemory, MemConfig, Uncore, WarmLevel};
+use serde::{Deserialize, Serialize};
+
+/// How the multicore machine is modelled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MachineMode {
+    /// One simulated core against its 1/N share of uncore resources
+    /// (DESIGN.md §2) — used for the large parameter sweeps.
+    Symmetric,
+    /// N cores cycle-interleaved over the shared NUCA L3 + mesh + DRAM.
+    Detailed,
+}
+
+/// Machine-level configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Core count (Table I: 28).
+    pub cores: usize,
+    /// Simulation mode.
+    pub mode: MachineMode,
+    /// Memory-system configuration.
+    pub mem: MemConfig,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig { cores: 28, mode: MachineMode::Symmetric, mem: MemConfig::default() }
+    }
+}
+
+/// The three machine operating points evaluated throughout §VII, plus the
+/// derived selection policies of §IV-D.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ConfigKind {
+    /// Conventional scheduler, 2 VPUs @ 1.7 GHz.
+    Baseline,
+    /// SAVE, 2 VPUs @ 1.7 GHz.
+    Save2Vpu,
+    /// SAVE, 1 VPU @ 2.1 GHz (frequency-boosted, §IV-D).
+    Save1Vpu,
+}
+
+impl ConfigKind {
+    /// The three simulated points.
+    pub const ALL: [ConfigKind; 3] = [ConfigKind::Baseline, ConfigKind::Save2Vpu, ConfigKind::Save1Vpu];
+
+    /// The core configuration for this operating point.
+    pub fn core_config(&self) -> CoreConfig {
+        match self {
+            ConfigKind::Baseline => CoreConfig::baseline(),
+            ConfigKind::Save2Vpu => CoreConfig::save_2vpu(),
+            ConfigKind::Save1Vpu => CoreConfig::save_1vpu(),
+        }
+    }
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConfigKind::Baseline => "baseline",
+            ConfigKind::Save2Vpu => "2 VPUs",
+            ConfigKind::Save1Vpu => "1 VPU",
+        }
+    }
+}
+
+/// Result of running one kernel.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct KernelResult {
+    /// Wall-clock seconds at the configured frequency.
+    pub seconds: f64,
+    /// Core cycles.
+    pub cycles: u64,
+    /// Core counters.
+    pub stats: CoreStats,
+    /// Whether the numerical output matched the reference (only checked
+    /// when requested).
+    pub verified: bool,
+    /// Whether the run completed within the cycle budget.
+    pub completed: bool,
+}
+
+/// Applies the paper's §VI warm-up policy: the broadcast-side input (the
+/// previous operation's output) is warm in L3; a reused weight panel is
+/// L3-warm as well (full-size layers amortize its first streaming pass —
+/// DESIGN.md §4); streamed panels and the output are cold.
+pub fn warm_regions(
+    w: &GemmWorkload,
+    built: &save_kernels::BuiltKernel,
+    cmem: &mut CoreMemory,
+    uncore: &mut Uncore,
+) {
+    for r in &built.regions {
+        let warm = match r.role {
+            RegionRole::BroadcastInput => true,
+            RegionRole::VectorInput => w.reuse_b(),
+            RegionRole::Output => false,
+        };
+        if warm {
+            cmem.warm(uncore, r.base, r.bytes, WarmLevel::L3);
+        }
+    }
+}
+
+/// Runs `w` on the machine at the given operating point.
+///
+/// In [`MachineMode::Symmetric`] one core is simulated against its share of
+/// the uncore; in [`MachineMode::Detailed`] this delegates to
+/// [`crate::multicore::run_multicore`] and reports the slowest core.
+///
+/// # Panics
+/// Panics if `verify` is set and the kernel's numerical output does not
+/// match the reference — that is always a simulator bug.
+pub fn run_kernel(
+    w: &GemmWorkload,
+    kind: ConfigKind,
+    machine: &MachineConfig,
+    seed: u64,
+    verify: bool,
+) -> KernelResult {
+    match machine.mode {
+        MachineMode::Detailed => crate::multicore::run_multicore(w, kind, machine, seed, verify),
+        MachineMode::Symmetric => run_kernel_custom(w, &kind.core_config(), machine, seed, verify),
+    }
+}
+
+/// Like [`run_kernel`] but with an arbitrary core configuration — used by
+/// the ablation studies (Figs 17-19) that toggle individual SAVE features.
+/// Always uses the symmetric machine mode.
+pub fn run_kernel_custom(
+    w: &GemmWorkload,
+    core_cfg: &CoreConfig,
+    machine: &MachineConfig,
+    seed: u64,
+    verify: bool,
+) -> KernelResult {
+    {
+        {
+            let cfg = *core_cfg;
+            let mut built = w.build(seed);
+            let mut uncore = Uncore::new_symmetric(&machine.mem, machine.cores);
+            let mut cmem = CoreMemory::new(0, machine.mem, cfg.freq_ghz);
+            warm_regions(w, &built, &mut cmem, &mut uncore);
+            let core = Core::new(cfg);
+            let out = core.run(&built.program, &mut built.mem, &mut cmem, &mut uncore);
+            let verified = if verify {
+                if let Err((i, got, want)) = built.verify() {
+                    panic!("kernel {}: output mismatch at {i}: got {got} want {want}", w.name);
+                }
+                true
+            } else {
+                false
+            };
+            KernelResult {
+                seconds: cfg.cycles_to_seconds(out.stats.cycles),
+                cycles: out.stats.cycles,
+                stats: out.stats,
+                verified,
+                completed: out.completed,
+            }
+        }
+    }
+}
+
+/// Sanity helper used by tests: the scheduler kind of an operating point.
+pub fn scheduler_of(kind: ConfigKind) -> SchedulerKind {
+    kind.core_config().scheduler
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use save_kernels::{BroadcastPattern, GemmKernelSpec, Precision};
+
+    fn tiny() -> GemmWorkload {
+        GemmWorkload::dense(
+            "tiny",
+            GemmKernelSpec {
+                m_tiles: 4,
+                n_vecs: 2,
+                pattern: BroadcastPattern::Explicit,
+                precision: Precision::F32,
+            },
+            16,
+            2,
+        )
+        .with_sparsity(0.3, 0.3)
+    }
+
+    #[test]
+    fn symmetric_run_verifies_and_times() {
+        let r = run_kernel(&tiny(), ConfigKind::Save2Vpu, &MachineConfig::default(), 1, true);
+        assert!(r.completed && r.verified);
+        assert!(r.seconds > 0.0);
+        assert_eq!(r.stats.fma_uops, tiny().fma_count());
+    }
+
+    #[test]
+    fn operating_points_differ_in_frequency() {
+        assert_eq!(ConfigKind::Baseline.core_config().freq_ghz, 1.7);
+        assert_eq!(ConfigKind::Save1Vpu.core_config().freq_ghz, 2.1);
+        assert_eq!(ConfigKind::Save1Vpu.core_config().num_vpus, 1);
+        assert_eq!(scheduler_of(ConfigKind::Baseline), SchedulerKind::Baseline);
+    }
+
+    #[test]
+    fn deterministic_across_repeats() {
+        let a = run_kernel(&tiny(), ConfigKind::Save1Vpu, &MachineConfig::default(), 7, false);
+        let b = run_kernel(&tiny(), ConfigKind::Save1Vpu, &MachineConfig::default(), 7, false);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

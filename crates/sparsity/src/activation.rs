@@ -1,0 +1,204 @@
+//! Per-layer activation-sparsity progressions over training (Fig 12).
+//!
+//! Synthetic models matching the published shapes (see crate docs and
+//! DESIGN.md): each layer's *input-activation* sparsity evolves from an
+//! early-training level toward a converged level with an exponential
+//! saturation; deeper VGG16 layers are much sparser than shallow ones;
+//! ResNet-50 is flatter and lower, with the post-residual 1x1 inputs the
+//! least sparse; pruning raises late-training activation sparsity slightly;
+//! GNMT sits at the constant 20% dropout rate.
+
+use serde::{Deserialize, Serialize};
+
+/// Which network (and training regime) the model describes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum NetKind {
+    /// VGG16 with dense weights.
+    Vgg16Dense,
+    /// ResNet-50 with dense weights.
+    ResNet50Dense,
+    /// ResNet-50 pruned to 80%.
+    ResNet50Pruned,
+    /// GNMT pruned to 90% (activations only see 20% dropout).
+    GnmtPruned,
+}
+
+impl NetKind {
+    /// Human-readable name as used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetKind::Vgg16Dense => "dense VGG16",
+            NetKind::ResNet50Dense => "dense ResNet-50",
+            NetKind::ResNet50Pruned => "pruned ResNet-50",
+            NetKind::GnmtPruned => "pruned GNMT",
+        }
+    }
+}
+
+/// The activation-sparsity model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationModel {
+    /// Network / regime.
+    pub kind: NetKind,
+}
+
+impl ActivationModel {
+    /// Creates the model for `kind`.
+    pub fn new(kind: NetKind) -> Self {
+        ActivationModel { kind }
+    }
+
+    /// Input-activation sparsity of `layer` (0-based) out of `layers`, at
+    /// `progress` of the way through training (`0.0..=1.0`).
+    ///
+    /// Layer 0's input is the image (or embedding): always dense.
+    pub fn sparsity(&self, layer: usize, layers: usize, progress: f64) -> f64 {
+        if layer == 0 {
+            return 0.0;
+        }
+        let depth = layer as f64 / (layers.max(2) - 1) as f64;
+        let p = progress.clamp(0.0, 1.0);
+        let ramp = 1.0 - (-4.0 * p).exp();
+        match self.kind {
+            NetKind::Vgg16Dense => {
+                // Converged ~55%..95% by depth (Rhu et al. report 40-90%
+                // with most layers at the high end), starting around 60% of
+                // the converged level.
+                let fin = 0.55 + 0.4 * depth;
+                let start = 0.6 * fin;
+                (start + (fin - start) * ramp).min(0.92)
+            }
+            NetKind::ResNet50Dense | NetKind::ResNet50Pruned => {
+                // Residual adds + BatchNorm keep sparsity modest; inputs to
+                // the post-residual 1x1a convs are the least sparse. We use
+                // a periodic within-block pattern over depth.
+                let block_pos = (layer % 3) as f64 / 3.0;
+                let fin = 0.3 + 0.3 * depth + 0.15 * block_pos;
+                let start = 0.6 * fin;
+                let mut s = start + (fin - start) * ramp;
+                if self.kind == NetKind::ResNet50Pruned {
+                    // Pruning drives more activations to zero late in
+                    // training (Fig 12, bottom panel).
+                    s += 0.08 * p;
+                }
+                s.min(0.75)
+            }
+            NetKind::GnmtPruned => 0.2,
+        }
+    }
+
+    /// Output-gradient sparsity of `layer` during back-propagation.
+    ///
+    /// ReLU back-propagation zeroes gradients wherever the activation was
+    /// zero, so VGG16's gradients are as sparse as the layer's output
+    /// activations; ResNet-50's BatchNorm eliminates gradient sparsity
+    /// entirely (§VI / Table III); GNMT's merged backward pass sees the
+    /// dropout mask.
+    pub fn grad_sparsity(&self, layer: usize, layers: usize, progress: f64) -> f64 {
+        match self.kind {
+            NetKind::Vgg16Dense => {
+                // The layer's output is the next layer's input.
+                self.sparsity((layer + 1).min(layers.saturating_sub(1)), layers, progress)
+            }
+            NetKind::ResNet50Dense | NetKind::ResNet50Pruned => 0.0,
+            NetKind::GnmtPruned => 0.2,
+        }
+    }
+
+    /// The Fig 12 series for one layer: sparsity sampled at `epochs` points
+    /// from the first epoch to the last.
+    pub fn series(&self, layer: usize, layers: usize, epochs: usize) -> Vec<f64> {
+        (0..epochs)
+            .map(|e| self.sparsity(layer, layers, e as f64 / (epochs.max(2) - 1) as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_layer_input_is_dense() {
+        for kind in
+            [NetKind::Vgg16Dense, NetKind::ResNet50Dense, NetKind::ResNet50Pruned]
+        {
+            assert_eq!(ActivationModel::new(kind).sparsity(0, 13, 0.5), 0.0);
+        }
+    }
+
+    #[test]
+    fn vgg_deeper_layers_are_sparser() {
+        let m = ActivationModel::new(NetKind::Vgg16Dense);
+        let shallow = m.sparsity(2, 13, 1.0);
+        let deep = m.sparsity(12, 13, 1.0);
+        assert!(deep > shallow);
+        assert!((0.8..=0.92).contains(&deep), "deep VGG16 layers reach ~90%: {deep}");
+        assert!((0.4..=0.7).contains(&shallow), "shallow {shallow}");
+    }
+
+    #[test]
+    fn sparsity_grows_during_training() {
+        let m = ActivationModel::new(NetKind::Vgg16Dense);
+        assert!(m.sparsity(6, 13, 0.1) < m.sparsity(6, 13, 0.9));
+    }
+
+    #[test]
+    fn resnet_is_less_sparse_than_vgg() {
+        let v = ActivationModel::new(NetKind::Vgg16Dense);
+        let r = ActivationModel::new(NetKind::ResNet50Dense);
+        let avg = |m: &ActivationModel, layers: usize| -> f64 {
+            (1..layers).map(|l| m.sparsity(l, layers, 1.0)).sum::<f64>() / (layers - 1) as f64
+        };
+        assert!(avg(&r, 49) < avg(&v, 13));
+    }
+
+    #[test]
+    fn pruned_resnet_activations_slightly_sparser_late() {
+        let d = ActivationModel::new(NetKind::ResNet50Dense);
+        let p = ActivationModel::new(NetKind::ResNet50Pruned);
+        assert!(p.sparsity(20, 49, 1.0) > d.sparsity(20, 49, 1.0));
+        assert!((p.sparsity(20, 49, 0.0) - d.sparsity(20, 49, 0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resnet_gradients_are_dense_vgg_gradients_are_not() {
+        let v = ActivationModel::new(NetKind::Vgg16Dense);
+        let r = ActivationModel::new(NetKind::ResNet50Pruned);
+        assert!(v.grad_sparsity(5, 13, 1.0) > 0.4);
+        assert_eq!(r.grad_sparsity(5, 49, 1.0), 0.0);
+    }
+
+    #[test]
+    fn gnmt_is_constant_dropout() {
+        let g = ActivationModel::new(NetKind::GnmtPruned);
+        for p in [0.0, 0.5, 1.0] {
+            assert_eq!(g.sparsity(3, 16, p), 0.2);
+            assert_eq!(g.grad_sparsity(3, 16, p), 0.2);
+        }
+    }
+
+    #[test]
+    fn series_has_requested_length() {
+        let m = ActivationModel::new(NetKind::ResNet50Dense);
+        assert_eq!(m.series(5, 49, 102).len(), 102);
+    }
+
+    #[test]
+    fn all_values_are_valid_probabilities() {
+        for kind in [
+            NetKind::Vgg16Dense,
+            NetKind::ResNet50Dense,
+            NetKind::ResNet50Pruned,
+            NetKind::GnmtPruned,
+        ] {
+            let m = ActivationModel::new(kind);
+            for l in 0..49 {
+                for e in 0..=10 {
+                    let s = m.sparsity(l, 49, e as f64 / 10.0);
+                    assert!((0.0..=1.0).contains(&s), "{kind:?} l{l} e{e}: {s}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # save-sparsity — the sparsity substrate
+//!
+//! The paper drives its end-to-end estimates from *realistic* sparsity: the
+//! per-layer activation-sparsity progression over training (Fig 12, profiled
+//! by the authors / taken from Rhu et al. for VGG16), the magnitude-pruning
+//! schedules (Fig 13, the Zhu & Gupta polynomial schedule with the §VI
+//! hyper-parameters), and the end-of-training levels used for inference.
+//!
+//! We do not have the authors' training traces (DESIGN.md, substitutions),
+//! so [`activation`] provides synthetic per-layer progressions matching the
+//! published shapes: VGG16's ReLU sparsity is high (40-90%, deeper layers
+//! sparser); ResNet-50's is lower because residual connections add a
+//! positive bias before the ReLU and BatchNorm eliminates output-gradient
+//! sparsity (§VI); GNMT's activation sparsity is the constant 20% dropout
+//! rate. [`pruning`] reproduces the exact schedules stated in §VI, and
+//! [`magnitude`] implements the underlying magnitude-based pruning that
+//! generates the weight masks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod magnitude;
+pub mod pruning;
+
+pub use activation::{ActivationModel, NetKind};
+pub use magnitude::magnitude_prune;
+pub use pruning::PruningSchedule;

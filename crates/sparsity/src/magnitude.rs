@@ -1,0 +1,84 @@
+//! Magnitude-based pruning (§VI: "we prune using a magnitude based method").
+//!
+//! Given a weight tensor and a target sparsity, the smallest-magnitude
+//! weights are dropped. Training keeps pruned networks in dense form with
+//! masks identifying the dropped weights (§II-D); this module produces both
+//! the pruned values and the mask.
+
+/// Prunes `weights` in place to `target` sparsity by zeroing the
+/// smallest-magnitude elements, returning the keep-mask (`true` = kept).
+///
+/// Ties are broken by index (earlier elements are pruned first), which makes
+/// the operation deterministic.
+///
+/// # Panics
+/// Panics if `target` is not within `[0, 1]`.
+pub fn magnitude_prune(weights: &mut [f32], target: f64) -> Vec<bool> {
+    assert!((0.0..=1.0).contains(&target), "sparsity must be in [0,1]");
+    let n = weights.len();
+    let drop = (n as f64 * target).round() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        weights[a]
+            .abs()
+            .partial_cmp(&weights[b].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut mask = vec![true; n];
+    for &i in order.iter().take(drop) {
+        weights[i] = 0.0;
+        mask[i] = false;
+    }
+    mask
+}
+
+/// Measured sparsity of a slice (fraction of exact zeros).
+pub fn measured_sparsity(weights: &[f32]) -> f64 {
+    if weights.is_empty() {
+        return 0.0;
+    }
+    weights.iter().filter(|w| **w == 0.0).count() as f64 / weights.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prunes_smallest_magnitudes() {
+        let mut w = vec![0.9, -0.1, 0.5, -0.05, 0.7, 0.2];
+        let mask = magnitude_prune(&mut w, 0.5);
+        assert_eq!(w, vec![0.9, 0.0, 0.5, 0.0, 0.7, 0.0]);
+        assert_eq!(mask, vec![true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn hits_requested_sparsity() {
+        let mut w: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.37).sin()).collect();
+        magnitude_prune(&mut w, 0.8);
+        assert!((measured_sparsity(&w) - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_target_is_identity() {
+        let mut w = vec![0.3, -0.4];
+        let mask = magnitude_prune(&mut w, 0.0);
+        assert_eq!(w, vec![0.3, -0.4]);
+        assert!(mask.iter().all(|&m| m));
+    }
+
+    #[test]
+    fn full_target_zeroes_everything() {
+        let mut w = vec![0.3, -0.4, 1.0];
+        magnitude_prune(&mut w, 1.0);
+        assert_eq!(measured_sparsity(&w), 1.0);
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut w: Vec<f32> = vec![];
+        assert!(magnitude_prune(&mut w, 0.5).is_empty());
+        assert_eq!(measured_sparsity(&w), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Weight-pruning schedules (Fig 13).
+//!
+//! §VI: ResNet-50 is pruned with a magnitude-based method using the
+//! hyper-parameters of Gale et al.: pruning starts at epoch 32, reaches the
+//! 80% target at epoch 60, and training stops at epoch 102; every layer is
+//! pruned at the same rate. GNMT starts at iteration 40K, reaches 90% at
+//! 190K, and trains until 340K. The sparsity ramp is the Zhu & Gupta
+//! polynomial schedule
+//! `s(t) = s_f * (1 - (1 - (t - t0)/(t1 - t0))^3)`.
+
+use serde::{Deserialize, Serialize};
+
+/// A polynomial (cubic) pruning schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PruningSchedule {
+    /// Step (epoch or iteration) at which pruning starts.
+    pub start: f64,
+    /// Step at which the final sparsity is reached.
+    pub end: f64,
+    /// Final (target) weight sparsity.
+    pub target: f64,
+    /// Total training steps.
+    pub total: f64,
+}
+
+impl PruningSchedule {
+    /// ResNet-50's schedule (§VI): epochs 32 → 60 to 80%, 102 epochs total.
+    pub fn resnet50() -> Self {
+        PruningSchedule { start: 32.0, end: 60.0, target: 0.8, total: 102.0 }
+    }
+
+    /// GNMT's schedule (§VI): iterations 40K → 190K to 90%, 340K total.
+    pub fn gnmt() -> Self {
+        PruningSchedule { start: 40_000.0, end: 190_000.0, target: 0.9, total: 340_000.0 }
+    }
+
+    /// A dense (never-pruning) schedule.
+    pub fn dense(total: f64) -> Self {
+        PruningSchedule { start: total, end: total, target: 0.0, total }
+    }
+
+    /// Weight sparsity at step `t` (Zhu & Gupta polynomial ramp).
+    pub fn sparsity_at(&self, t: f64) -> f64 {
+        if t <= self.start || self.target == 0.0 {
+            0.0
+        } else if t >= self.end {
+            self.target
+        } else {
+            let frac = (t - self.start) / (self.end - self.start);
+            self.target * (1.0 - (1.0 - frac).powi(3))
+        }
+    }
+
+    /// Sparsity at the end of training (used for inference, §VI).
+    pub fn final_sparsity(&self) -> f64 {
+        self.sparsity_at(self.total)
+    }
+
+    /// Samples the schedule at every integer step in `[0, total]` — the
+    /// series plotted in Fig 13 (sub-sampled by `stride`).
+    pub fn series(&self, stride: usize) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t <= self.total {
+            out.push((t, self.sparsity_at(t)));
+            t += stride as f64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_start_target_after_end() {
+        let s = PruningSchedule::resnet50();
+        assert_eq!(s.sparsity_at(0.0), 0.0);
+        assert_eq!(s.sparsity_at(32.0), 0.0);
+        assert!((s.sparsity_at(60.0) - 0.8).abs() < 1e-12);
+        assert!((s.sparsity_at(102.0) - 0.8).abs() < 1e-12);
+        assert!((s.final_sparsity() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramp_is_monotone_and_cubic() {
+        let s = PruningSchedule::gnmt();
+        let mut prev = -1.0;
+        for i in 0..=34 {
+            let t = i as f64 * 10_000.0;
+            let v = s.sparsity_at(t);
+            assert!(v >= prev, "schedule must be monotone");
+            prev = v;
+        }
+        // The cubic front-loads pruning: halfway through the ramp it is past
+        // 7/8 of the (linear-equivalent) distance.
+        let mid = s.sparsity_at((40_000.0 + 190_000.0) / 2.0);
+        assert!((mid - 0.9 * 0.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_schedule_never_prunes() {
+        let s = PruningSchedule::dense(90.0);
+        assert_eq!(s.sparsity_at(45.0), 0.0);
+        assert_eq!(s.final_sparsity(), 0.0);
+    }
+
+    #[test]
+    fn series_covers_training() {
+        let s = PruningSchedule::resnet50();
+        let series = s.series(1);
+        assert_eq!(series.len(), 103);
+        assert_eq!(series[0], (0.0, 0.0));
+        assert!((series[102].1 - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the sparsity substrate.
+
+use proptest::prelude::*;
+use save_sparsity::{magnitude_prune, ActivationModel, NetKind, PruningSchedule};
+
+proptest! {
+    /// The pruning schedule is monotone non-decreasing and bounded by the
+    /// target for any valid hyper-parameters.
+    #[test]
+    fn schedule_monotone_and_bounded(
+        start in 0.0f64..100.0,
+        span in 1.0f64..200.0,
+        target in 0.0f64..1.0,
+        t1 in 0.0f64..400.0,
+        t2 in 0.0f64..400.0,
+    ) {
+        let s = PruningSchedule { start, end: start + span, target, total: start + span + 50.0 };
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(s.sparsity_at(lo) <= s.sparsity_at(hi) + 1e-12);
+        prop_assert!(s.sparsity_at(hi) <= target + 1e-12);
+        prop_assert!(s.sparsity_at(lo) >= 0.0);
+    }
+
+    /// Magnitude pruning hits the requested count exactly and never keeps a
+    /// weight smaller in magnitude than one it dropped.
+    #[test]
+    fn magnitude_prune_is_exact_and_ordered(
+        weights in prop::collection::vec(-10.0f32..10.0, 1..200),
+        target in 0.0f64..1.0,
+    ) {
+        let mut w = weights.clone();
+        let mask = magnitude_prune(&mut w, target);
+        let dropped = mask.iter().filter(|&&m| !m).count();
+        prop_assert_eq!(dropped, (weights.len() as f64 * target).round() as usize);
+        let max_dropped = mask
+            .iter()
+            .zip(weights.iter())
+            .filter(|(m, _)| !**m)
+            .map(|(_, v)| v.abs())
+            .fold(0.0f32, f32::max);
+        let min_kept = mask
+            .iter()
+            .zip(weights.iter())
+            .filter(|(m, _)| **m)
+            .map(|(_, v)| v.abs())
+            .fold(f32::INFINITY, f32::min);
+        prop_assert!(max_dropped <= min_kept + 1e-6, "dropped {max_dropped} kept {min_kept}");
+        // Pruned positions really are zero.
+        for (i, &m) in mask.iter().enumerate() {
+            if !m {
+                prop_assert_eq!(w[i], 0.0);
+            }
+        }
+    }
+
+    /// Activation models always produce valid probabilities that are
+    /// non-decreasing over training progress.
+    #[test]
+    fn activation_models_valid_and_monotone(
+        kind_idx in 0usize..4,
+        layer in 0usize..49,
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+    ) {
+        let kind = [
+            NetKind::Vgg16Dense,
+            NetKind::ResNet50Dense,
+            NetKind::ResNet50Pruned,
+            NetKind::GnmtPruned,
+        ][kind_idx];
+        let m = ActivationModel::new(kind);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let s_lo = m.sparsity(layer, 49, lo);
+        let s_hi = m.sparsity(layer, 49, hi);
+        prop_assert!((0.0..=1.0).contains(&s_lo));
+        prop_assert!((0.0..=1.0).contains(&s_hi));
+        prop_assert!(s_lo <= s_hi + 1e-12, "sparsity must grow during training");
+        let g = m.grad_sparsity(layer, 49, hi);
+        prop_assert!((0.0..=1.0).contains(&g));
+    }
+}

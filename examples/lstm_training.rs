@@ -1,0 +1,37 @@
+//! GNMT LSTM-cell training under the §VI pruning schedule: shows how the
+//! SAVE speedup of a memory-bound LSTM kernel evolves as weights are pruned
+//! from 0% to 90% over 340K iterations (the Fig 14d scenario, one cell).
+//!
+//! Run with: `cargo run --release --example lstm_training`
+
+use save::kernels::{Phase, Precision};
+use save::sim::runner::run_kernel;
+use save::sim::{ConfigKind, MachineConfig};
+use save::sparsity::PruningSchedule;
+
+fn main() {
+    let cell = save::kernels::shapes::gnmt(64).remove(1); // a mid-stack encoder cell
+    let schedule = PruningSchedule::gnmt();
+    let machine = MachineConfig::default();
+    let w0 = cell.workload(Phase::Forward, Precision::F32);
+
+    println!("cell {} — weights stream from memory (2 panels), dropout BS = 20%", cell.name);
+    println!("{:>10}  {:>8}  {:>12}  {:>12}", "iteration", "sparsity", "2 VPUs", "1 VPU");
+    for step in (0..=340_000).step_by(34_000) {
+        let ws = schedule.sparsity_at(step as f64);
+        let w = w0.clone().with_sparsity(0.2, ws);
+        let tb = run_kernel(&w, ConfigKind::Baseline, &machine, step as u64, false).seconds;
+        let t2 = run_kernel(&w, ConfigKind::Save2Vpu, &machine, step as u64, false).seconds;
+        let t1 = run_kernel(&w, ConfigKind::Save1Vpu, &machine, step as u64, false).seconds;
+        println!(
+            "{:>10}  {:>7.0}%  {:>10.2}x  {:>10.2}x",
+            step,
+            ws * 100.0,
+            tb / t2,
+            tb / t1
+        );
+    }
+    println!("\nNote the paper's §VII-A observation: with 2 VPUs the LSTM speedup caps");
+    println!("once weights are ~20% pruned (memory bound); with 1 VPU at 2.1 GHz the");
+    println!("speedup keeps growing until much deeper pruning.");
+}

@@ -1,0 +1,30 @@
+//! Detailed multicore simulation: cycle-interleaves real cores over the
+//! shared NUCA L3 + 2-D mesh + DRAM channels, and compares against the fast
+//! symmetric mode used for the big sweeps.
+//!
+//! Run with: `cargo run --release --example multicore_detailed`
+
+use save::kernels::{Phase, Precision};
+use save::sim::runner::run_kernel;
+use save::sim::{ConfigKind, MachineConfig, MachineMode};
+
+fn main() {
+    let shape = save::kernels::shapes::conv_by_name("ResNet3_2").expect("shape table");
+    let w = shape.workload(Phase::Forward, Precision::F32).with_sparsity(0.4, 0.8);
+
+    for cores in [1usize, 4, 8] {
+        let detailed = MachineConfig { cores, mode: MachineMode::Detailed, ..Default::default() };
+        let symmetric = MachineConfig { cores, mode: MachineMode::Symmetric, ..Default::default() };
+        let rd = run_kernel(&w, ConfigKind::Save2Vpu, &detailed, 1, true);
+        let rs = run_kernel(&w, ConfigKind::Save2Vpu, &symmetric, 1, true);
+        println!(
+            "{cores:>2} cores: detailed {:>8} cycles (slowest core), symmetric {:>8} cycles, ratio {:.2}",
+            rd.cycles,
+            rs.cycles,
+            rd.cycles as f64 / rs.cycles as f64
+        );
+    }
+    println!("\nEvery core's numerical output was verified against its reference.");
+    println!("The symmetric mode (used for the parameter sweeps) tracks the detailed");
+    println!("mode closely for the compute-bound kernels that dominate the evaluation.");
+}

@@ -1,0 +1,100 @@
+//! SAVE is not DNN-specific: "SAVE ... can potentially speed-up any vector
+//! workload with sparsity" (§I). This example hand-writes a non-GEMM vector
+//! kernel straight from `Inst`s — streaming co-occurrence (covariance)
+//! accumulation `C[i][j] += x[i] * x[j]` over sparse feature vectors, the
+//! inner loop of text/recommendation statistics pipelines — and runs the
+//! *same unmodified instruction stream* on the baseline and on SAVE.
+//!
+//! Run with: `cargo run --release --example sparse_vector_workload`
+
+use rand::{Rng, SeedableRng};
+use save::core::{Core, CoreConfig};
+use save::isa::{Inst, Memory, Program, VOperand, VReg};
+use save::mem::{CoreMemory, MemConfig, Uncore, WarmLevel};
+
+const ROWS: usize = 24; // covariance block rows kept in registers
+const SAMPLES: usize = 512;
+
+fn build(sparsity: f64) -> (Program, Memory, u64, Vec<f32>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let mut mem = Memory::new(0);
+    // Each sample is a feature vector; we accumulate the ROWS x 16 block of
+    // its outer product. Sparse features mean most x[i] are zero.
+    let x_base = mem.alloc(SAMPLES * (ROWS + 16) * 4);
+    let out_base = mem.alloc(ROWS * 16 * 4);
+    let mut x = vec![0.0f32; SAMPLES * (ROWS + 16)];
+    for (i, v) in x.iter_mut().enumerate() {
+        *v = if rng.gen_bool(sparsity) { 0.0 } else { rng.gen_range(0.1..1.0) };
+        mem.write_f32(x_base + 4 * i as u64, *v);
+    }
+    // Reference: C[i][j] += x[i] * x[ROWS + j] per sample.
+    let mut expect = vec![0.0f32; ROWS * 16];
+    for s in 0..SAMPLES {
+        let xs = &x[s * (ROWS + 16)..(s + 1) * (ROWS + 16)];
+        for i in 0..ROWS {
+            for j in 0..16 {
+                expect[i * 16 + j] = xs[i].mul_add(xs[ROWS + j], expect[i * 16 + j]);
+            }
+        }
+    }
+    // Program: accumulators C[0..ROWS] live in registers; per sample, load
+    // the 16-wide column slice once, then broadcast each row feature and
+    // accumulate.
+    let mut p = Program::new("sparse co-occurrence accumulation");
+    for i in 0..ROWS {
+        p.push(Inst::Zero { dst: VReg(i as u8) });
+    }
+    let col = VReg(ROWS as u8);
+    let bcast = VReg(ROWS as u8 + 1);
+    for s in 0..SAMPLES {
+        let base = x_base + 4 * (s * (ROWS + 16)) as u64;
+        p.push(Inst::VecLoad { dst: col, addr: base + 4 * ROWS as u64 });
+        for i in 0..ROWS {
+            p.push(Inst::BroadcastLoad { dst: bcast, addr: base + 4 * i as u64 });
+            p.push(Inst::VfmaF32 {
+                acc: VReg(i as u8),
+                a: VOperand::Reg(bcast),
+                b: VOperand::Reg(col),
+                mask: None,
+            });
+        }
+    }
+    for i in 0..ROWS {
+        p.push(Inst::VecStore { src: VReg(i as u8), addr: out_base + 4 * (i * 16) as u64 });
+    }
+    (p, mem, out_base, expect)
+}
+
+fn run(cfg: CoreConfig, sparsity: f64) -> u64 {
+    let (p, mut mem, out_base, expect) = build(sparsity);
+    let mcfg = MemConfig::default();
+    let mut uncore = Uncore::new_symmetric(&mcfg, 28);
+    let mut cmem = CoreMemory::new(0, mcfg, cfg.freq_ghz);
+    cmem.warm(&mut uncore, 0, mem.size() as u64, WarmLevel::L3);
+    let out = Core::new(cfg).run(&p, &mut mem, &mut cmem, &mut uncore);
+    for (j, &e) in expect.iter().enumerate() {
+        let got = mem.read_f32(out_base + 4 * j as u64);
+        assert_eq!(got, e, "C element {j}");
+    }
+    out.stats.cycles
+}
+
+fn main() {
+    println!("non-DNN vector workload: streaming sparse co-occurrence accumulation");
+    println!("(the same legacy instruction stream runs on both machines)");
+    println!("{:>10}  {:>10}  {:>10}  {:>8}", "sparsity", "baseline", "SAVE", "speedup");
+    for sparsity in [0.0, 0.3, 0.6, 0.9] {
+        let base = run(CoreConfig::baseline(), sparsity);
+        let save = run(CoreConfig::save_2vpu(), sparsity);
+        println!(
+            "{:>9.0}%  {:>10}  {:>10}  {:>7.2}x",
+            sparsity * 100.0,
+            base,
+            save,
+            base as f64 / save as f64
+        );
+    }
+    println!("\nZero features make both the broadcast (row) and the column operand");
+    println!("sparse, so SAVE skips whole VFMAs (BS) and coalesces lanes (NBS) in a");
+    println!("kernel that never heard of DNNs — the §I claim.");
+}

@@ -1,0 +1,8 @@
+//! SAVE umbrella crate: re-exports of all subsystem crates.
+#![forbid(unsafe_code)]
+pub use save_core as core;
+pub use save_isa as isa;
+pub use save_kernels as kernels;
+pub use save_mem as mem;
+pub use save_sim as sim;
+pub use save_sparsity as sparsity;
