@@ -12,25 +12,35 @@
 //! * stream-prefetch depth — the memory substrate SAVE sits on;
 //! * mixed-precision forwarding overlap (§V-B).
 
-use save_bench::print_table;
+use save_bench::{print_table, SweepSession};
 use save_core::CoreConfig;
 use save_kernels::{Phase, Precision};
 use save_sim::runner::run_kernel_custom;
 use save_sim::MachineConfig;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let machine = MachineConfig::default();
-    let shape = save_kernels::shapes::conv_by_name("ResNet3_2").expect("shape table");
+    let Some(shape) = save_kernels::shapes::conv_by_name("ResNet3_2") else {
+        eprintln!("ablation: ResNet3_2 missing from the shape table");
+        return ExitCode::from(1);
+    };
     let fwd = shape.workload(Phase::Forward, Precision::F32).with_sparsity(0.0, 0.6);
-    let base_time =
-        run_kernel_custom(&fwd, &CoreConfig::baseline(), &machine, 1, false).seconds;
+    let mut session = SweepSession::new("ablation");
+    let base_time = session.seconds("baseline fwd", || {
+        Ok(run_kernel_custom(&fwd, &CoreConfig::baseline(), &machine, 1, false)?.seconds)
+    });
 
     // 1. RS size: the combination window is RS-bound until the 32-register
     // limit takes over.
     let mut rows = Vec::new();
     for rs in [24usize, 48, 64, 97, 128] {
         let cfg = CoreConfig { rs_entries: rs, ..CoreConfig::save_2vpu() };
-        let r = run_kernel_custom(&fwd, &cfg, &machine, 1, false);
+        let Some(r) = session.run(&format!("rs={rs}"), || {
+            run_kernel_custom(&fwd, &cfg, &machine, 1, false)
+        }) else {
+            continue;
+        };
         rows.push(vec![
             format!("{rs}"),
             format!("{:.2}x", base_time / r.seconds),
@@ -48,9 +58,12 @@ fn main() {
     for width in [3usize, 4, 5, 6] {
         let cfg = CoreConfig { issue_width: width, commit_width: width, ..CoreConfig::save_2vpu() };
         let base = CoreConfig { issue_width: width, commit_width: width, ..CoreConfig::baseline() };
-        let tb = run_kernel_custom(&fwd, &base, &machine, 1, false).seconds;
-        let ts = run_kernel_custom(&fwd, &cfg, &machine, 1, false).seconds;
-        rows.push(vec![format!("{width}-wide"), format!("{:.2}x", tb / ts)]);
+        let speedup = session.seconds(&format!("width={width}"), || {
+            let tb = run_kernel_custom(&fwd, &base, &machine, 1, false)?.seconds;
+            let ts = run_kernel_custom(&fwd, &cfg, &machine, 1, false)?.seconds;
+            Ok(tb / ts)
+        });
+        rows.push(vec![format!("{width}-wide"), format!("{speedup:.2}x")]);
     }
     print_table(
         "Ablation: allocation width (speedup vs same-width baseline)",
@@ -62,12 +75,18 @@ fn main() {
     let wgrad = shape.workload(Phase::BackwardWeights, Precision::F32).with_sparsity(0.4, 0.4);
     let mut base_machine = machine;
     base_machine.mem.bcast = None;
-    let tb = run_kernel_custom(&wgrad, &CoreConfig::baseline(), &base_machine, 1, false).seconds;
+    let tb = session.seconds("baseline wgrad", || {
+        Ok(run_kernel_custom(&wgrad, &CoreConfig::baseline(), &base_machine, 1, false)?.seconds)
+    });
     let mut rows = Vec::new();
     for entries in [4usize, 8, 16, 32, 64] {
         let mut m = machine;
         m.mem.bcast_entries = entries;
-        let r = run_kernel_custom(&wgrad, &CoreConfig::save_2vpu(), &m, 1, false);
+        let Some(r) = session.run(&format!("bcast={entries}"), || {
+            run_kernel_custom(&wgrad, &CoreConfig::save_2vpu(), &m, 1, false)
+        }) else {
+            continue;
+        };
         let hit_rate = if r.stats.bcast_loads == 0 {
             0.0
         } else {
@@ -90,8 +109,13 @@ fn main() {
     for depth in [0u64, 8, 16, 64] {
         let mut m = machine;
         m.mem.prefetch_degree = depth;
-        let tbb = run_kernel_custom(&fwd, &CoreConfig::baseline(), &m, 1, false).seconds;
-        let ts = run_kernel_custom(&fwd, &CoreConfig::save_2vpu(), &m, 1, false).seconds;
+        let Some((tbb, ts)) = session.run(&format!("prefetch={depth}"), || {
+            let tbb = run_kernel_custom(&fwd, &CoreConfig::baseline(), &m, 1, false)?.seconds;
+            let ts = run_kernel_custom(&fwd, &CoreConfig::save_2vpu(), &m, 1, false)?.seconds;
+            Ok((tbb, ts))
+        }) else {
+            continue;
+        };
         rows.push(vec![
             format!("{depth}"),
             format!("{:.2}", tbb / base_time),
@@ -105,15 +129,20 @@ fn main() {
     );
 
     // 5. MP partial-result forwarding overlap (§V-B).
-    let mp = save_kernels::shapes::conv_by_name("ResNet4_1a")
-        .expect("shape")
-        .workload(Phase::BackwardInput, Precision::Mixed)
-        .with_sparsity(0.0, 0.6);
-    let tb = run_kernel_custom(&mp, &CoreConfig::baseline(), &machine, 1, false).seconds;
+    let Some(mp_shape) = save_kernels::shapes::conv_by_name("ResNet4_1a") else {
+        eprintln!("ablation: ResNet4_1a missing from the shape table");
+        return ExitCode::from(1);
+    };
+    let mp = mp_shape.workload(Phase::BackwardInput, Precision::Mixed).with_sparsity(0.0, 0.6);
+    let tb = session.seconds("baseline mp", || {
+        Ok(run_kernel_custom(&mp, &CoreConfig::baseline(), &machine, 1, false)?.seconds)
+    });
     let mut rows = Vec::new();
     for overlap in [0u64, 1, 2, 3] {
         let cfg = CoreConfig { mp_forward_overlap: overlap, ..CoreConfig::save_1vpu() };
-        let ts = run_kernel_custom(&mp, &cfg, &machine, 1, false).seconds;
+        let ts = session.seconds(&format!("overlap={overlap}"), || {
+            Ok(run_kernel_custom(&mp, &cfg, &machine, 1, false)?.seconds)
+        });
         rows.push(vec![format!("{overlap} cycles"), format!("{:.2}x", tb / ts)]);
     }
     print_table(
@@ -121,4 +150,5 @@ fn main() {
         &["overlap", "speedup"],
         &rows,
     );
+    session.finish()
 }

@@ -9,10 +9,11 @@
 //!    to NBS — exactly the reduction SAVE makes in computation, lifting the
 //!    bandwidth cap of memory-bound (LSTM-like) kernels.
 
-use save_bench::{print_table, HarnessArgs};
+use save_bench::{print_table, HarnessArgs, SweepSession};
 use save_kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision};
 use save_sim::runner::run_kernel;
 use save_sim::{ConfigKind, MachineConfig};
+use std::process::ExitCode;
 
 fn explicit_spec() -> GemmKernelSpec {
     GemmKernelSpec {
@@ -23,10 +24,11 @@ fn explicit_spec() -> GemmKernelSpec {
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args = HarnessArgs::parse();
     let grid = args.grid();
     let machine = MachineConfig::default();
+    let mut session = SweepSession::new("extensions");
 
     // 1. SparseTrain-style software skipping vs / with SAVE, across BS,
     // under uniform-random and clustered (ReLU-like) sparsity.
@@ -46,9 +48,12 @@ fn main() {
             };
             let w = GemmWorkload { software_bs_skip: software, ..plain.clone() };
             let seed = (bs * 100.0) as u64;
-            let tb = run_kernel(&plain, ConfigKind::Baseline, &machine, seed, false).seconds;
-            let ts = run_kernel(&w, kind, &machine, seed, false).seconds;
-            row.push(format!("{:.2}", tb / ts));
+            let speedup = session.seconds(&format!("{label} bs={bs:.1}"), || {
+                let tb = run_kernel(&plain, ConfigKind::Baseline, &machine, seed, false)?.seconds;
+                let ts = run_kernel(&w, kind, &machine, seed, false)?.seconds;
+                Ok(tb / ts)
+            });
+            row.push(format!("{speedup:.2}"));
         }
         rows.push(row);
     }
@@ -77,11 +82,15 @@ fn main() {
         let mut row = vec![label.to_string()];
         for &nbs in &grid {
             let seed = (nbs * 100.0) as u64;
-            let tb =
-                run_kernel(&streaming(nbs, false), ConfigKind::Baseline, &machine, seed, false)
-                    .seconds;
-            let ts = run_kernel(&streaming(nbs, compressed), kind, &machine, seed, false).seconds;
-            row.push(format!("{:.2}", tb / ts));
+            let speedup = session.seconds(&format!("{label} nbs={nbs:.1}"), || {
+                let tb =
+                    run_kernel(&streaming(nbs, false), ConfigKind::Baseline, &machine, seed, false)?
+                        .seconds;
+                let ts =
+                    run_kernel(&streaming(nbs, compressed), kind, &machine, seed, false)?.seconds;
+                Ok(tb / ts)
+            });
+            row.push(format!("{speedup:.2}"));
         }
         rows.push(row);
     }
@@ -98,4 +107,5 @@ fn main() {
     println!("while SAVE is insensitive to sparsity structure; and ZCOMP keeps");
     println!("memory-bound kernels scaling with NBS where SAVE alone hits the");
     println!("bandwidth roof (§VIII).");
+    session.finish()
 }

@@ -1,9 +1,10 @@
 //! Fig 12 — activation sparsity during end-to-end training: per-layer
 //! series from the first epoch to the last.
 
+use save_sim::SimError;
 use save_sparsity::{ActivationModel, NetKind};
 
-fn panel(kind: NetKind, layers: usize, epochs: usize, segments: usize) {
+fn panel(kind: NetKind, layers: usize, epochs: usize, segments: usize) -> Result<(), SimError> {
     println!("\n== Fig 12: {} training, input-activation sparsity ==", kind.label());
     println!("(each segment is one layer; within a segment, first epoch -> last epoch)");
     let m = ActivationModel::new(kind);
@@ -19,14 +20,15 @@ fn panel(kind: NetKind, layers: usize, epochs: usize, segments: usize) {
         println!("layer {layer:>2}: {}", pick.join(" -> "));
         all.push(series);
     }
-    save_bench::write_json(&format!("fig12_{:?}", kind), &all);
+    save_bench::write_json(&format!("fig12_{:?}", kind), &all)
 }
 
-fn main() {
+fn main() -> Result<(), SimError> {
     // VGG16: 12 segments (13 convs minus the dense-input first layer).
-    panel(NetKind::Vgg16Dense, 13, 90, 12);
+    panel(NetKind::Vgg16Dense, 13, 90, 12)?;
     // ResNet-50: 49 segments in the paper (conv layers along the main path).
-    panel(NetKind::ResNet50Dense, 50, 90, 49);
-    panel(NetKind::ResNet50Pruned, 50, 102, 49);
+    panel(NetKind::ResNet50Dense, 50, 90, 49)?;
+    panel(NetKind::ResNet50Pruned, 50, 102, 49)?;
     println!("\n(GNMT omitted as in the paper: its activation sparsity is constant 20%.)");
+    Ok(())
 }

@@ -8,11 +8,12 @@
 //! (dense VGG16), 1.37x (dense ResNet-50), 1.59x (pruned ResNet-50), 1.39x
 //! (pruned GNMT); end-to-end training 1.64x / 1.29x / 1.42x / 1.28x.
 
-use save_bench::{print_table, HarnessArgs};
+use save_bench::{print_table, HarnessArgs, SweepSession};
 use save_kernels::Precision;
 use save_sim::{Estimator, EstimatorConfig, Network};
 use save_sparsity::NetKind;
 use serde::Serialize;
+use std::process::ExitCode;
 
 #[derive(Serialize)]
 struct NetResult {
@@ -24,10 +25,11 @@ struct NetResult {
     training_breakdown_dynamic: Vec<(String, f64)>,
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args = HarnessArgs::parse();
     let cfg = EstimatorConfig { grid: args.grid(), ..Default::default() };
     let est = Estimator::new(cfg);
+    let mut session = SweepSession::new("fig14");
 
     let kinds = [
         NetKind::Vgg16Dense,
@@ -44,8 +46,12 @@ fn main() {
         for kind in kinds {
             let net = Network::build(kind);
             eprintln!("[fig14] estimating {} {prec}...", kind.label());
-            let inf = est.estimate_inference(&net, prec);
-            let tr = est.estimate_training(&net, prec);
+            let label = format!("{} {prec}", kind.label());
+            let Some((inf, tr)) = session.run(&label, || {
+                Ok((est.estimate_inference(&net, prec)?, est.estimate_training(&net, prec)?))
+            }) else {
+                continue;
+            };
 
             let ib = inf.baseline.total();
             let inf_norm = vec![
@@ -110,5 +116,9 @@ fn main() {
         "                     training  1.64x        / 1.29x          / 1.42x           / 1.28x"
     );
     println!("surfaces swept: {}", est.surfaces_built());
-    save_bench::write_json("fig14", &results);
+    if let Err(e) = save_bench::write_json("fig14", &results) {
+        eprintln!("fig14: {e}");
+        return ExitCode::from(1);
+    }
+    session.finish()
 }

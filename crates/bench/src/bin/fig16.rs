@@ -12,11 +12,12 @@
 //! 1.62x (1 VPU); MP 1.48x / 1.77x; using 1 VPU at higher frequency lifts
 //! the caps; LSTM kernels cap lower than conv kernels (memory bound).
 
-use save_bench::{print_table, HarnessArgs};
+use save_bench::{print_table, HarnessArgs, SweepSession};
 use save_kernels::{GemmWorkload, Phase, Precision};
 use save_sim::runner::run_kernel;
 use save_sim::{ConfigKind, MachineConfig};
 use serde::Serialize;
+use std::process::ExitCode;
 
 struct KernelDef {
     name: String,
@@ -67,7 +68,9 @@ fn kernel_set() -> Vec<KernelDef> {
             }
         }
     }
-    let dec = save_kernels::shapes::gnmt(64).pop().expect("gnmt cells");
+    let Some(dec) = save_kernels::shapes::gnmt(64).pop() else {
+        return set;
+    };
     set.push(KernelDef {
         name: "GNMT dec fwd long".into(),
         is_lstm: true,
@@ -90,11 +93,12 @@ struct CapRecord {
     cap: f64,
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args = HarnessArgs::parse();
     let corners: Vec<(f64, f64)> =
         if args.quick { vec![(0.8, 0.8)] } else { vec![(0.6, 0.6), (0.8, 0.8), (0.9, 0.9)] };
     let machine = MachineConfig::default();
+    let mut session = SweepSession::new("fig16");
     let set = kernel_set();
     println!("kernel set: {} kernels ({} conv, {} LSTM)",
         set.len(),
@@ -110,9 +114,15 @@ fn main() {
                 for (i, &(a, b)) in corners.iter().enumerate() {
                     let w = w0.clone().with_sparsity(a, b);
                     let seed = 1000 + i as u64;
-                    let tb = run_kernel(&w, ConfigKind::Baseline, &machine, seed, false).seconds;
-                    let ts = run_kernel(&w, kind, &machine, seed, false).seconds;
-                    cap = cap.max(tb / ts);
+                    let label = format!("{} {prec} {vpus}vpu corner{i}", k.name);
+                    let ratio = session.seconds(&label, || {
+                        let tb = run_kernel(&w, ConfigKind::Baseline, &machine, seed, false)?.seconds;
+                        let ts = run_kernel(&w, kind, &machine, seed, false)?.seconds;
+                        Ok(tb / ts)
+                    });
+                    if ratio.is_finite() {
+                        cap = cap.max(ratio);
+                    }
                 }
                 records.push(CapRecord {
                     name: k.name.clone(),
@@ -163,5 +173,9 @@ fn main() {
         &["panel", "1.0-1.2x", "1.2-1.4x", "1.4-1.6x", "1.6-1.8x", "1.8-2.0x", ">2.0x", "geomean"],
         &rows,
     );
-    save_bench::write_json("fig16", &records);
+    if let Err(e) = save_bench::write_json("fig16", &records) {
+        eprintln!("fig16: {e}");
+        return ExitCode::from(1);
+    }
+    session.finish()
 }

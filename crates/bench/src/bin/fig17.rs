@@ -7,13 +7,14 @@
 //! designs help as BS grows; only the data design keeps improving with NBS
 //! (the mask design still burns an L1-D port on non-zero broadcasts).
 
-use save_bench::{print_table, HarnessArgs};
+use save_bench::{print_table, HarnessArgs, SweepSession};
 use save_core::CoreConfig;
 use save_kernels::{Phase, Precision};
 use save_mem::BcastDesign;
 use save_sim::runner::run_kernel_custom;
 use save_sim::MachineConfig;
 use serde::Serialize;
+use std::process::ExitCode;
 
 #[derive(Serialize)]
 struct Point {
@@ -23,12 +24,16 @@ struct Point {
     speedup: f64,
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args = HarnessArgs::parse();
     let grid = args.grid();
-    let shape = save_kernels::shapes::conv_by_name("ResNet3_2").expect("shape table");
+    let Some(shape) = save_kernels::shapes::conv_by_name("ResNet3_2") else {
+        eprintln!("fig17: ResNet3_2 missing from the shape table");
+        return ExitCode::from(1);
+    };
     let w0 = shape.workload(Phase::BackwardWeights, Precision::F32);
     assert_eq!(w0.spec.pattern, save_kernels::BroadcastPattern::Embedded);
+    let mut session = SweepSession::new("fig17");
 
     let designs: [(&str, Option<BcastDesign>); 3] =
         [("No B$", None), ("B$ w/ masks", Some(BcastDesign::Masks)), ("B$ w/ data", Some(BcastDesign::Data))];
@@ -46,12 +51,16 @@ fn main() {
                 // Baseline never has a B$ (it is a SAVE structure).
                 let mut base_machine = MachineConfig::default();
                 base_machine.mem.bcast = None;
-                let tb = run_kernel_custom(&w, &CoreConfig::baseline(), &base_machine, seed, false)
-                    .seconds;
-                let ts =
-                    run_kernel_custom(&w, &CoreConfig::save_2vpu(), &machine, seed, false).seconds;
-                row.push(format!("{:.2}", tb / ts));
-                points.push(Point { design: label.into(), bs, nbs, speedup: tb / ts });
+                let cell = format!("{label} bs={bs:.1} nbs={nbs:.1}");
+                let speedup = session.seconds(&cell, || {
+                    let tb = run_kernel_custom(&w, &CoreConfig::baseline(), &base_machine, seed, false)?
+                        .seconds;
+                    let ts =
+                        run_kernel_custom(&w, &CoreConfig::save_2vpu(), &machine, seed, false)?.seconds;
+                    Ok(tb / ts)
+                });
+                row.push(format!("{speedup:.2}"));
+                points.push(Point { design: label.into(), bs, nbs, speedup });
             }
             rows.push(row);
         }
@@ -60,5 +69,9 @@ fn main() {
     headers.extend(grid.iter().map(|b| format!("NBS {:.0}%", b * 100.0)));
     let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     print_table("Fig 17: ResNet3_2 FP32 bwd-weights (embedded broadcast), 2 VPUs", &hrefs, &rows);
-    save_bench::write_json("fig17", &points);
+    if let Err(e) = save_bench::write_json("fig17", &points) {
+        eprintln!("fig17: {e}");
+        return ExitCode::from(1);
+    }
+    session.finish()
 }

@@ -10,12 +10,13 @@
 //! RVC; RVC+LWD is best everywhere; HC wins slightly at medium sparsity but
 //! loses at high sparsity where its extra latency bites.
 
-use save_bench::{print_table, HarnessArgs};
+use save_bench::{print_table, HarnessArgs, SweepSession};
 use save_core::{CoreConfig, SchedulerKind};
 use save_kernels::{Phase, Precision};
 use save_sim::runner::run_kernel_custom;
 use save_sim::MachineConfig;
 use serde::Serialize;
+use std::process::ExitCode;
 
 #[derive(Serialize)]
 struct Point {
@@ -44,13 +45,17 @@ fn techniques() -> Vec<(&'static str, CoreConfig)> {
     ]
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args = HarnessArgs::parse();
     let grid = args.grid();
     let machine = MachineConfig::default();
+    let mut session = SweepSession::new("fig18");
     let mut points = Vec::new();
     for name in ["ResNet3_2", "ResNet5_1a"] {
-        let shape = save_kernels::shapes::conv_by_name(name).expect("shape table");
+        let Some(shape) = save_kernels::shapes::conv_by_name(name) else {
+            eprintln!("fig18: {name} missing from the shape table");
+            return ExitCode::from(1);
+        };
         let w0 = shape.workload(Phase::BackwardInput, Precision::F32);
         let (m, n) = shape.blocking(Phase::BackwardInput);
         println!(
@@ -65,15 +70,19 @@ fn main() {
             for &nbs in &grid {
                 let w = w0.clone().with_sparsity(0.0, nbs);
                 let seed = (nbs * 100.0) as u64;
-                let tb = run_kernel_custom(&w, &CoreConfig::baseline(), &machine, seed, false)
-                    .seconds;
-                let ts = run_kernel_custom(&w, &cfg, &machine, seed, false).seconds;
-                row.push(format!("{:.2}", tb / ts));
+                let cell = format!("{name} {label} nbs={nbs:.1}");
+                let speedup = session.seconds(&cell, || {
+                    let tb = run_kernel_custom(&w, &CoreConfig::baseline(), &machine, seed, false)?
+                        .seconds;
+                    let ts = run_kernel_custom(&w, &cfg, &machine, seed, false)?.seconds;
+                    Ok(tb / ts)
+                });
+                row.push(format!("{speedup:.2}"));
                 points.push(Point {
                     kernel: name.into(),
                     technique: label.into(),
                     nbs,
-                    speedup: tb / ts,
+                    speedup,
                 });
             }
             rows.push(row);
@@ -87,5 +96,9 @@ fn main() {
             &rows,
         );
     }
-    save_bench::write_json("fig18", &points);
+    if let Err(e) = save_bench::write_json("fig18", &points) {
+        eprintln!("fig18: {e}");
+        return ExitCode::from(1);
+    }
+    session.finish()
 }

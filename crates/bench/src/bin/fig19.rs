@@ -6,12 +6,13 @@
 //! of its BF16 multiplicand lanes are ineffectual, so exploitable sparsity
 //! is roughly squared; ML compression recovers it at every level.
 
-use save_bench::{print_table, HarnessArgs};
+use save_bench::{print_table, HarnessArgs, SweepSession};
 use save_core::CoreConfig;
 use save_kernels::{Phase, Precision};
 use save_sim::runner::run_kernel_custom;
 use save_sim::MachineConfig;
 use serde::Serialize;
+use std::process::ExitCode;
 
 #[derive(Serialize)]
 struct Point {
@@ -20,12 +21,16 @@ struct Point {
     speedup: f64,
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args = HarnessArgs::parse();
     let grid = args.grid();
-    let shape = save_kernels::shapes::conv_by_name("ResNet4_1a").expect("shape table");
+    let Some(shape) = save_kernels::shapes::conv_by_name("ResNet4_1a") else {
+        eprintln!("fig19: ResNet4_1a missing from the shape table");
+        return ExitCode::from(1);
+    };
     let w0 = shape.workload(Phase::BackwardInput, Precision::Mixed);
     let machine = MachineConfig::default();
+    let mut session = SweepSession::new("fig19");
 
     let mut points = Vec::new();
     let mut rows = Vec::new();
@@ -35,11 +40,15 @@ fn main() {
         for &nbs in &grid {
             let w = w0.clone().with_sparsity(0.0, nbs);
             let seed = (nbs * 100.0) as u64;
-            let tb =
-                run_kernel_custom(&w, &CoreConfig::baseline(), &machine, seed, false).seconds;
-            let ts = run_kernel_custom(&w, &cfg, &machine, seed, false).seconds;
-            row.push(format!("{:.2}", tb / ts));
-            points.push(Point { mp_technique: compress, nbs, speedup: tb / ts });
+            let cell = format!("{label} nbs={nbs:.1}");
+            let speedup = session.seconds(&cell, || {
+                let tb =
+                    run_kernel_custom(&w, &CoreConfig::baseline(), &machine, seed, false)?.seconds;
+                let ts = run_kernel_custom(&w, &cfg, &machine, seed, false)?.seconds;
+                Ok(tb / ts)
+            });
+            row.push(format!("{speedup:.2}"));
+            points.push(Point { mp_technique: compress, nbs, speedup });
         }
         rows.push(row);
     }
@@ -47,5 +56,9 @@ fn main() {
     headers.extend(grid.iter().map(|b| format!("NBS {:.0}%", b * 100.0)));
     let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     print_table("Fig 19: ResNet4_1a MP bwd-input, 1 VPU, speedup over 2-VPU baseline", &hrefs, &rows);
-    save_bench::write_json("fig19", &points);
+    if let Err(e) = save_bench::write_json("fig19", &points) {
+        eprintln!("fig19: {e}");
+        return ExitCode::from(1);
+    }
+    session.finish()
 }

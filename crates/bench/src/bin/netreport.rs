@@ -4,11 +4,12 @@
 //!
 //! Usage: `netreport [vgg16|resnet50|resnet50-pruned|gnmt] [--mp]`
 
-use save_bench::print_table;
+use save_bench::{print_table, SweepSession};
 use save_kernels::{Phase, Precision};
 use save_sim::runner::run_kernel;
 use save_sim::{ConfigKind, MachineConfig, Network};
 use save_sparsity::NetKind;
+use std::process::ExitCode;
 
 struct LayerRow {
     name: String,
@@ -19,7 +20,7 @@ struct LayerRow {
     t1: f64,
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let kind = match args.get(1).map(|s| s.as_str()) {
         Some("vgg16") => NetKind::Vgg16Dense,
@@ -31,6 +32,7 @@ fn main() {
         if args.iter().any(|a| a == "--mp") { Precision::Mixed } else { Precision::F32 };
     let machine = MachineConfig::default();
     let net = Network::build(kind);
+    let mut session = SweepSession::new("netreport");
 
     let mut layers = Vec::new();
     for (li, layer) in net.layers.iter().enumerate() {
@@ -38,14 +40,15 @@ fn main() {
         let w = layer.workload(Phase::Forward, precision);
         let scale = layer.flops() / w.flops();
         let w = w.with_sparsity(p.a, p.b);
-        layers.push(LayerRow {
-            name: layer.name().to_string(),
-            bs: p.a,
-            nbs: p.b,
-            tb: run_kernel(&w, ConfigKind::Baseline, &machine, li as u64, false).seconds * scale,
-            t2: run_kernel(&w, ConfigKind::Save2Vpu, &machine, li as u64, false).seconds * scale,
-            t1: run_kernel(&w, ConfigKind::Save1Vpu, &machine, li as u64, false).seconds * scale,
-        });
+        let Some((tb, t2, t1)) = session.run(layer.name(), || {
+            let tb = run_kernel(&w, ConfigKind::Baseline, &machine, li as u64, false)?.seconds;
+            let t2 = run_kernel(&w, ConfigKind::Save2Vpu, &machine, li as u64, false)?.seconds;
+            let t1 = run_kernel(&w, ConfigKind::Save1Vpu, &machine, li as u64, false)?.seconds;
+            Ok((tb * scale, t2 * scale, t1 * scale))
+        }) else {
+            continue;
+        };
+        layers.push(LayerRow { name: layer.name().to_string(), bs: p.a, nbs: p.b, tb, t2, t1 });
     }
     let total_b: f64 = layers.iter().map(|l| l.tb).sum();
     let total_2: f64 = layers.iter().map(|l| l.t2).sum();
@@ -76,4 +79,5 @@ fn main() {
         total_b / total_1,
         total_b / total_d
     );
+    session.finish()
 }

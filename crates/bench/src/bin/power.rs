@@ -4,16 +4,21 @@
 //! claim quantitatively: at high sparsity, disabling one VPU saves energy
 //! at little or no performance cost.
 
-use save_bench::print_table;
+use save_bench::{print_table, SweepSession};
 use save_kernels::{Phase, Precision};
 use save_sim::runner::run_kernel;
 use save_sim::{ConfigKind, MachineConfig, PowerModel};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let machine = MachineConfig::default();
     let pm = PowerModel::default();
-    let shape = save_kernels::shapes::conv_by_name("ResNet3_2").expect("shape table");
+    let Some(shape) = save_kernels::shapes::conv_by_name("ResNet3_2") else {
+        eprintln!("power: ResNet3_2 missing from the shape table");
+        return ExitCode::from(1);
+    };
     let w0 = shape.workload(Phase::Forward, Precision::F32);
+    let mut session = SweepSession::new("power");
 
     let mut rows = Vec::new();
     for sparsity in [0.0, 0.3, 0.6, 0.9] {
@@ -21,7 +26,10 @@ fn main() {
         for (kind, vpus) in
             [(ConfigKind::Baseline, 2), (ConfigKind::Save2Vpu, 2), (ConfigKind::Save1Vpu, 1)]
         {
-            let r = run_kernel(&w, kind, &machine, 2, false);
+            let label = format!("{} @ {:.0}%", kind.label(), sparsity * 100.0);
+            let Some(r) = session.run(&label, || run_kernel(&w, kind, &machine, 2, false)) else {
+                continue;
+            };
             let e = pm.estimate(&r, vpus);
             rows.push(vec![
                 format!("{:.0}%", sparsity * 100.0),
@@ -38,7 +46,11 @@ fn main() {
         &["sparsity", "config", "energy", "mean power", "time", "VPU share"],
         &rows,
     );
-    save_bench::write_json("power", &rows);
+    if let Err(e) = save_bench::write_json("power", &rows) {
+        eprintln!("power: {e}");
+        return ExitCode::from(1);
+    }
     println!("\n§IV-D takeaway: at high sparsity the 1-VPU point matches or beats the");
     println!("2-VPU point in time while drawing less power — the frequency boost is free.");
+    session.finish()
 }

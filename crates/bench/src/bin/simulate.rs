@@ -8,9 +8,14 @@
 //!            [--cores N] [--detailed] [--seed S] [--json] [--example]
 //!
 //! `--example` prints a template workload JSON and exits.
+//!
+//! Every failure path (unreadable spec, malformed JSON, bad flag value,
+//! rejected config, stalled or mismatching run) surfaces as a typed
+//! [`SimError`] through `main`'s `Result`, which the runtime renders as a
+//! readable message with a non-zero exit code.
 
 use save_sim::runner::run_kernel;
-use save_sim::{ConfigKind, MachineConfig, MachineMode};
+use save_sim::{ConfigKind, MachineConfig, MachineMode, SimError};
 
 fn usage() -> ! {
     eprintln!(
@@ -36,40 +41,55 @@ fn template() -> save_kernels::GemmWorkload {
     .with_sparsity(0.4, 0.6)
 }
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--example") {
-        println!("{}", serde_json::to_string_pretty(&template()).expect("serialize"));
-        return;
+        let s = serde_json::to_string_pretty(&template())
+            .map_err(|e| SimError::Io { what: format!("serialize template: {e}") })?;
+        println!("{s}");
+        return Ok(());
     }
     let get = |flag: &str| -> Option<String> {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
     };
     let Some(spec_path) = get("--spec") else { usage() };
     let spec = std::fs::read_to_string(&spec_path)
-        .unwrap_or_else(|e| panic!("cannot read {spec_path}: {e}"));
-    let workload: save_kernels::GemmWorkload =
-        serde_json::from_str(&spec).unwrap_or_else(|e| panic!("invalid workload JSON: {e}"));
+        .map_err(|e| SimError::Io { what: format!("cannot read {spec_path}: {e}") })?;
+    let workload: save_kernels::GemmWorkload = serde_json::from_str(&spec)
+        .map_err(|e| SimError::InvalidConfig { what: format!("invalid workload JSON: {e}") })?;
 
     let kind = match get("--config").as_deref() {
         None | Some("save2") => ConfigKind::Save2Vpu,
         Some("save1") => ConfigKind::Save1Vpu,
         Some("baseline") => ConfigKind::Baseline,
-        Some(other) => panic!("unknown config {other}"),
+        Some(other) => {
+            return Err(SimError::InvalidConfig {
+                what: format!("unknown config {other} (expected baseline|save2|save1)"),
+            })
+        }
     };
     let mut machine = MachineConfig::default();
     if let Some(c) = get("--cores") {
-        machine.cores = c.parse().expect("--cores takes a number");
+        machine.cores = c.parse().map_err(|_| SimError::InvalidConfig {
+            what: format!("--cores takes a number, got {c:?}"),
+        })?;
     }
     if args.iter().any(|a| a == "--detailed") {
         machine.mode = MachineMode::Detailed;
     }
-    let seed = get("--seed").map(|s| s.parse().expect("--seed takes a number")).unwrap_or(1);
+    let seed = match get("--seed") {
+        Some(s) => s.parse().map_err(|_| SimError::InvalidConfig {
+            what: format!("--seed takes a number, got {s:?}"),
+        })?,
+        None => 1,
+    };
 
-    let result = run_kernel(&workload, kind, &machine, seed, true);
+    let result = run_kernel(&workload, kind, &machine, seed, true)?;
     if args.iter().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&result).expect("serialize"));
-        return;
+        let s = serde_json::to_string_pretty(&result)
+            .map_err(|e| SimError::Io { what: format!("serialize result: {e}") })?;
+        println!("{s}");
+        return Ok(());
     }
     let s = &result.stats;
     println!("kernel    : {}", workload.name);
@@ -83,4 +103,5 @@ fn main() {
     println!("loads     : {} ({} broadcast, {} B$-served)", s.loads_issued, s.bcast_loads, s.bcast_hits);
     println!("mean CW   : {:.1}", s.mean_cw());
     println!("verified  : {}", result.verified);
+    Ok(())
 }

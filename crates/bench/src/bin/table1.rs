@@ -5,7 +5,7 @@ use save_core::CoreConfig;
 use save_mem::energy::StorageModel;
 use save_sim::MachineConfig;
 
-fn main() {
+fn main() -> Result<(), save_sim::SimError> {
     let core = CoreConfig::default();
     let m = MachineConfig::default();
     let mem = m.mem;
@@ -68,5 +68,6 @@ fn main() {
         ],
     ];
     print_table("Table I: architecture configuration", &["Component", "Configuration"], &rows);
-    save_bench::write_json("table1", &rows);
+    save_bench::write_json("table1", &rows)?;
+    Ok(())
 }

@@ -3,7 +3,7 @@
 use save_bench::print_table;
 use save_mem::energy::{PrecisionSupport, StorageModel};
 
-fn main() {
+fn main() -> Result<(), save_sim::SimError> {
     let m = StorageModel::default();
     let mut rows = Vec::new();
     for (label, support) in [
@@ -36,7 +36,7 @@ fn main() {
         &["Structure", "Size", "P_leak", "E_access"],
         &rows,
     );
-    save_bench::write_json("table2", &rows);
+    save_bench::write_json("table2", &rows)?;
     // Paper check: 56B / 276B / 2260B (FP32) and 168B / 340B / 2260B (MP).
     assert_eq!(m.temp_bytes(PrecisionSupport::Fp32Only), 56);
     assert_eq!(m.temp_bytes(PrecisionSupport::Fp32AndMixed), 168);
@@ -44,4 +44,5 @@ fn main() {
     assert_eq!(m.bcast_mask_bytes(PrecisionSupport::Fp32AndMixed), 340);
     assert_eq!(m.bcast_data_bytes(PrecisionSupport::Fp32Only), 2260);
     println!("\nAll sizes match Table II of the paper exactly.");
+    Ok(())
 }

@@ -14,7 +14,7 @@ fn mark(level: f64) -> &'static str {
     }
 }
 
-fn main() {
+fn main() -> Result<(), save_sim::SimError> {
     let mut rows = Vec::new();
     for kind in [NetKind::Vgg16Dense, NetKind::ResNet50Dense, NetKind::ResNet50Pruned] {
         let net = Network::build(kind);
@@ -48,5 +48,6 @@ fn main() {
         &["network", "fwd BS", "fwd NBS", "bwd BS", "bwd NBS"],
         &lstm_rows,
     );
-    save_bench::write_json("table3", &(rows, lstm_rows));
+    save_bench::write_json("table3", &(rows, lstm_rows))?;
+    Ok(())
 }

@@ -5,28 +5,49 @@
 //! machine-readable JSON copy under `target/experiments/` for
 //! EXPERIMENTS.md. Criterion micro-benchmarks cover the simulator's hot
 //! paths and one representative kernel per experiment.
+//!
+//! Sweeps run through [`SweepSession`]: each simulated cell is a recorded
+//! job, a cell that fails (typed [`SimError`] or a panic) becomes a `NaN`
+//! entry instead of aborting the figure, and [`SweepSession::finish`]
+//! dumps a [`FailureReport`] JSON next to the results and maps a lossy run
+//! to a non-zero process exit code.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use save_sim::error::SimError;
+use save_sim::parallel::{FailureReport, JobFailure};
 use serde::Serialize;
 use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::process::ExitCode;
 
 /// Directory experiment JSON results are written to.
-pub fn experiments_dir() -> PathBuf {
+///
+/// # Errors
+/// [`SimError::Io`] if the directory cannot be created.
+pub fn experiments_dir() -> Result<PathBuf, SimError> {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
-    std::fs::create_dir_all(&dir).expect("create experiments dir");
-    dir
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| SimError::Io { what: format!("create {}: {e}", dir.display()) })?;
+    Ok(dir)
 }
 
 /// Writes `value` as pretty JSON to `target/experiments/<name>.json`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    let path = experiments_dir().join(format!("{name}.json"));
-    let mut f = std::fs::File::create(&path).expect("create result file");
-    let s = serde_json::to_string_pretty(value).expect("serialize result");
-    f.write_all(s.as_bytes()).expect("write result");
+///
+/// # Errors
+/// [`SimError::Io`] on serialization or filesystem failure.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Result<(), SimError> {
+    let path = experiments_dir()?.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path)
+        .map_err(|e| SimError::Io { what: format!("create {}: {e}", path.display()) })?;
+    let s = serde_json::to_string_pretty(value)
+        .map_err(|e| SimError::Io { what: format!("serialize {name}: {e}") })?;
+    f.write_all(s.as_bytes())
+        .map_err(|e| SimError::Io { what: format!("write {}: {e}", path.display()) })?;
     eprintln!("[saved {}]", path.display());
+    Ok(())
 }
 
 /// Prints an aligned text table.
@@ -82,5 +103,128 @@ impl HarnessArgs {
         } else {
             save_sim::surface::coarse_grid()
         }
+    }
+}
+
+/// Fault-isolating harness for one experiment binary.
+///
+/// Every simulated cell goes through [`SweepSession::run`] (or the
+/// [`SweepSession::seconds`] convenience): the job runs behind
+/// `catch_unwind`, a typed failure or panic is recorded instead of
+/// propagated, and the sweep continues with the remaining cells. At the
+/// end, [`SweepSession::finish`] prints and persists the failure report
+/// and turns a lossy run into exit code 1.
+pub struct SweepSession {
+    name: String,
+    jobs: usize,
+    failures: Vec<JobFailure>,
+}
+
+impl SweepSession {
+    /// Starts a session for the experiment called `name` (used for the
+    /// `<name>-failures.json` dump).
+    pub fn new(name: &str) -> Self {
+        SweepSession { name: name.to_string(), jobs: 0, failures: Vec::new() }
+    }
+
+    /// Runs one labelled job with panic isolation. Returns `None` (and
+    /// records the failure) when the job fails.
+    pub fn run<R>(
+        &mut self,
+        label: &str,
+        f: impl FnOnce() -> Result<R, SimError>,
+    ) -> Option<R> {
+        let job = self.jobs;
+        self.jobs += 1;
+        let result = match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(r) => r,
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(SimError::WorkerPanic { job, message })
+            }
+        };
+        match result {
+            Ok(r) => Some(r),
+            Err(error) => {
+                eprintln!("[{}] job {job} ({label}) failed: [{}] {error}", self.name, error.kind());
+                self.failures.push(JobFailure {
+                    job,
+                    label: Some(label.to_string()),
+                    attempts: 1,
+                    error,
+                });
+                None
+            }
+        }
+    }
+
+    /// Like [`SweepSession::run`] for jobs producing a duration: a failed
+    /// cell reports as `NaN` so tables and JSON keep their shape.
+    pub fn seconds(&mut self, label: &str, f: impl FnOnce() -> Result<f64, SimError>) -> f64 {
+        self.run(label, f).unwrap_or(f64::NAN)
+    }
+
+    /// The failure report accumulated so far.
+    pub fn report(&self) -> FailureReport {
+        FailureReport {
+            total_jobs: self.jobs,
+            succeeded: self.jobs - self.failures.len(),
+            failures: self.failures.clone(),
+        }
+    }
+
+    /// `true` when no job has failed yet.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Prints the failure report, persists it as
+    /// `target/experiments/<name>-failures.json` when lossy, and returns
+    /// the process exit code: success only for a clean sweep.
+    pub fn finish(self) -> ExitCode {
+        let report = self.report();
+        if report.is_clean() {
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("[{}] sweep completed with failures: {report}", self.name);
+        if let Err(e) = write_json(&format!("{}-failures", self.name), &report) {
+            eprintln!("[{}] could not persist failure report: {e}", self.name);
+        }
+        ExitCode::from(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_isolates_failures_and_reports() {
+        let mut s = SweepSession::new("unit");
+        assert_eq!(s.run("ok", || Ok(41)), Some(41));
+        assert_eq!(s.run::<u32>("typed", || Err(SimError::InvalidConfig { what: "x".into() })), None);
+        assert_eq!(s.run::<u32>("panic", || panic!("cell exploded")), None);
+        assert!(s.seconds("nan", || Err(SimError::InvalidConfig { what: "y".into() })).is_nan());
+        let r = s.report();
+        assert_eq!(r.total_jobs, 4);
+        assert_eq!(r.succeeded, 1);
+        assert_eq!(r.failures.len(), 3);
+        assert!(matches!(r.failures[1].error, SimError::WorkerPanic { job: 2, .. }));
+        assert_eq!(r.exit_code(), 1);
+        assert!(!s.is_clean());
+    }
+
+    #[test]
+    fn clean_session_exits_zero() {
+        let mut s = SweepSession::new("clean");
+        assert!((s.seconds("ok", || Ok(1.5)) - 1.5).abs() < 1e-12);
+        assert!(s.is_clean());
+        assert_eq!(s.report().exit_code(), 0);
     }
 }

@@ -65,6 +65,12 @@ pub struct CoreConfig {
     pub hc_penalty_cycles: u64,
     /// Abort a run after this many cycles (deadlock guard).
     pub max_cycles: u64,
+    /// Retire-progress watchdog: declare a stall if no µop commits for
+    /// this many consecutive cycles while work is outstanding. Must be
+    /// comfortably above the worst-case memory round trip (a cold DRAM
+    /// access is a few hundred cycles); the default leaves two orders of
+    /// magnitude of headroom.
+    pub watchdog_cycles: u64,
 }
 
 impl Default for CoreConfig {
@@ -89,6 +95,7 @@ impl Default for CoreConfig {
             mp_compress: true,
             hc_penalty_cycles: 6,
             max_cycles: 500_000_000,
+            watchdog_cycles: 100_000,
         }
     }
 }
@@ -129,6 +136,50 @@ impl CoreConfig {
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / (self.freq_ghz * 1e9)
     }
+
+    /// Rejects operating points the pipeline cannot run.
+    ///
+    /// Every structural resource must be non-zero, the renaming pool must
+    /// exceed the architectural register file (otherwise allocation
+    /// deadlocks the moment all architectural names are live), and the
+    /// frequency must be a positive finite number. The error string names
+    /// the offending field so sweep drivers can report it verbatim.
+    pub fn validate(&self) -> Result<(), String> {
+        fn nonzero(what: &str, v: usize) -> Result<(), String> {
+            if v == 0 { Err(format!("core config: {what} must be > 0")) } else { Ok(()) }
+        }
+        nonzero("issue_width", self.issue_width)?;
+        nonzero("commit_width", self.commit_width)?;
+        nonzero("rob_entries", self.rob_entries)?;
+        nonzero("rs_entries", self.rs_entries)?;
+        nonzero("num_vpus", self.num_vpus)?;
+        nonzero("load_ports", self.load_ports)?;
+        nonzero("load_buffer", self.load_buffer)?;
+        nonzero("store_ports", self.store_ports)?;
+        if self.phys_regs <= save_isa::NUM_VREGS {
+            return Err(format!(
+                "core config: phys_regs ({}) must exceed the {} architectural vregs",
+                self.phys_regs,
+                save_isa::NUM_VREGS
+            ));
+        }
+        if !self.freq_ghz.is_finite() || self.freq_ghz <= 0.0 {
+            return Err(format!(
+                "core config: freq_ghz must be positive and finite, got {}",
+                self.freq_ghz
+            ));
+        }
+        if self.fp32_fma_cycles == 0 || self.mp_fma_cycles == 0 {
+            return Err("core config: FMA latencies must be > 0".to_string());
+        }
+        if self.max_cycles == 0 {
+            return Err("core config: max_cycles must be > 0".to_string());
+        }
+        if self.watchdog_cycles == 0 {
+            return Err("core config: watchdog_cycles must be > 0".to_string());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -153,5 +204,32 @@ mod tests {
         assert_eq!(c.ns_to_cycles(1.0), 2); // 1.7 cycles rounds up
         let s = c.cycles_to_seconds(1_700_000_000);
         assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_validate() {
+        CoreConfig::baseline().validate().unwrap();
+        CoreConfig::save_2vpu().validate().unwrap();
+        CoreConfig::save_1vpu().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_zero_vpus_and_zero_issue_width() {
+        let no_vpu = CoreConfig { num_vpus: 0, ..CoreConfig::default() };
+        let err = no_vpu.validate().unwrap_err();
+        assert!(err.contains("num_vpus"), "{err}");
+
+        let no_issue = CoreConfig { issue_width: 0, ..CoreConfig::default() };
+        let err = no_issue.validate().unwrap_err();
+        assert!(err.contains("issue_width"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_starved_rename_pool_and_bad_frequency() {
+        let starved = CoreConfig { phys_regs: save_isa::NUM_VREGS, ..CoreConfig::default() };
+        assert!(starved.validate().unwrap_err().contains("phys_regs"));
+
+        let nan = CoreConfig { freq_ghz: f64::NAN, ..CoreConfig::default() };
+        assert!(nan.validate().unwrap_err().contains("freq_ghz"));
     }
 }

@@ -8,6 +8,7 @@
 //! window — mirroring the paper's pipeline (Fig 3).
 
 use crate::config::{CoreConfig, SchedulerKind};
+use crate::diag::{StallCause, StallDiag};
 use crate::lsu::Lsu;
 use crate::mgu;
 use crate::rename::{PhysRegFile, RenameTable, ALL_LANES};
@@ -23,12 +24,16 @@ use save_mem::{CoreMemory, Uncore};
 use std::collections::VecDeque;
 
 /// Result of running a kernel to completion.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunOutcome {
     /// Counters for the run.
     pub stats: CoreStats,
-    /// `false` if the run hit [`CoreConfig::max_cycles`].
+    /// `false` if the run hit [`CoreConfig::max_cycles`] or tripped the
+    /// retire-progress watchdog.
     pub completed: bool,
+    /// Pipeline snapshot explaining *why* the run stopped early; `None`
+    /// when `completed` is `true`.
+    pub stall: Option<StallDiag>,
 }
 
 impl RunOutcome {
@@ -70,6 +75,7 @@ pub struct Core {
     tracer: Option<Box<dyn Tracer>>,
     last_alloc_rob: RobId,
     alloc_stalled_until: u64,
+    last_commit_cycle: u64,
 }
 
 impl Core {
@@ -97,6 +103,7 @@ impl Core {
             tracer: None,
             last_alloc_rob: 0,
             alloc_stalled_until: 0,
+            last_commit_cycle: 0,
             cfg,
         }
     }
@@ -190,7 +197,7 @@ impl Core {
         uncore: &mut Uncore,
     ) -> Option<RunOutcome> {
         if self.finished {
-            return Some(RunOutcome { stats: self.stats, completed: true });
+            return Some(RunOutcome { stats: self.stats, completed: true, stall: None });
         }
         let insts = &program.insts;
         let mut inst_idx = self.inst_idx;
@@ -237,6 +244,7 @@ impl Core {
                     self.prf.release(f);
                 }
                 self.stats.uops_committed += 1;
+                self.last_commit_cycle = cycle;
                 if !e.fused {
                     committed += 1;
                 }
@@ -380,13 +388,45 @@ impl Core {
         self.stats.cycles = self.cycle;
         if self.pend.is_empty() && inst_idx == insts.len() && self.rob.is_empty() {
             self.finished = true;
-            return Some(RunOutcome { stats: self.stats, completed: true });
+            return Some(RunOutcome { stats: self.stats, completed: true, stall: None });
         }
         if self.cycle >= self.cfg.max_cycles {
             self.finished = true;
-            return Some(RunOutcome { stats: self.stats, completed: false });
+            let stall = Some(self.stall_diag(StallCause::CycleBudget));
+            return Some(RunOutcome { stats: self.stats, completed: false, stall });
+        }
+        // Retire-progress watchdog: work is outstanding (the drained case
+        // returned above) yet nothing has committed for a long time.
+        if self.cycle - self.last_commit_cycle >= self.cfg.watchdog_cycles {
+            self.finished = true;
+            let stall = Some(self.stall_diag(StallCause::NoCommitProgress));
+            return Some(RunOutcome { stats: self.stats, completed: false, stall });
         }
         None
+    }
+
+    /// Captures the pipeline state for a stall report.
+    fn stall_diag(&self, cause: StallCause) -> StallDiag {
+        let oldest_unretired = self.rob.head().map(|h| {
+            format!(
+                "seq {} {:?} done={} fused={} arch_dst={:?}",
+                h.seq, h.kind, h.done, h.fused, h.arch_dst
+            )
+        });
+        StallDiag {
+            cause,
+            cycle: self.cycle,
+            last_commit_cycle: self.last_commit_cycle,
+            rob_occupancy: self.rob.len(),
+            rob_capacity: self.cfg.rob_entries,
+            rs_occupancy: self.rs.len(),
+            rs_capacity: self.cfg.rs_entries,
+            loads_in_flight: self.lsu.in_flight(),
+            phys_free: self.prf.free_count(),
+            oldest_unretired,
+            scheduler: self.cfg.scheduler,
+            stats: self.stats,
+        }
     }
 
     fn run_watchers(&mut self) {

@@ -1,0 +1,142 @@
+//! Structured stall diagnostics.
+//!
+//! When a run trips the retire-progress watchdog or the cycle budget, the
+//! core captures a [`StallDiag`] snapshot instead of spinning silently.
+//! The snapshot names the resource the pipeline is waiting on, so a sweep
+//! driver can report *where* a kernel livelocked rather than just that it
+//! never finished.
+
+use crate::config::SchedulerKind;
+use crate::stats::CoreStats;
+use serde::{Deserialize, Serialize};
+
+/// Why the core stopped making progress.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum StallCause {
+    /// No µop committed for [`crate::CoreConfig::watchdog_cycles`] cycles.
+    NoCommitProgress,
+    /// The run hit [`crate::CoreConfig::max_cycles`].
+    CycleBudget,
+}
+
+/// Snapshot of the pipeline at the moment a stall was declared.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StallDiag {
+    /// What tripped: watchdog or budget.
+    pub cause: StallCause,
+    /// Cycle at which the stall was declared.
+    pub cycle: u64,
+    /// Last cycle on which any µop committed.
+    pub last_commit_cycle: u64,
+    /// Occupied ROB entries at capture time.
+    pub rob_occupancy: usize,
+    /// ROB capacity.
+    pub rob_capacity: usize,
+    /// Occupied reservation-station entries.
+    pub rs_occupancy: usize,
+    /// Reservation-station capacity.
+    pub rs_capacity: usize,
+    /// Loads in flight in the LSU.
+    pub loads_in_flight: usize,
+    /// Free physical registers remaining.
+    pub phys_free: usize,
+    /// Human-readable description of the oldest unretired µop (the ROB
+    /// head), if any — the µop the whole machine is waiting on.
+    pub oldest_unretired: Option<String>,
+    /// Scheduler variant the core was running.
+    pub scheduler: SchedulerKind,
+    /// Counter snapshot at capture time (stall counters included).
+    pub stats: CoreStats,
+}
+
+impl StallDiag {
+    /// The single resource this snapshot most implicates, as a short
+    /// keyword: `"memory"`, `"rob"`, `"rs"`, `"phys-regs"`, `"vpu"`,
+    /// `"front-end"` or `"drained"`.
+    pub fn stalled_resource(&self) -> &'static str {
+        if self.rob_occupancy == 0 {
+            return "drained";
+        }
+        if self.loads_in_flight > 0 {
+            return "memory";
+        }
+        if self.phys_free == 0 {
+            return "phys-regs";
+        }
+        if self.rs_occupancy >= self.rs_capacity {
+            return "rs";
+        }
+        if self.rob_occupancy >= self.rob_capacity {
+            return "rob";
+        }
+        if self.rs_occupancy > 0 {
+            return "vpu";
+        }
+        "front-end"
+    }
+}
+
+impl std::fmt::Display for StallDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} at cycle {} (last commit {}): suspect {}, ROB {}/{}, RS {}/{}, \
+             {} loads in flight, {} free phys regs, scheduler {:?}",
+            self.cause,
+            self.cycle,
+            self.last_commit_cycle,
+            self.stalled_resource(),
+            self.rob_occupancy,
+            self.rob_capacity,
+            self.rs_occupancy,
+            self.rs_capacity,
+            self.loads_in_flight,
+            self.phys_free,
+            self.scheduler,
+        )?;
+        if let Some(o) = &self.oldest_unretired {
+            write!(f, ", oldest unretired: {o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> StallDiag {
+        StallDiag {
+            cause: StallCause::NoCommitProgress,
+            cycle: 100,
+            last_commit_cycle: 40,
+            rob_occupancy: 5,
+            rob_capacity: 224,
+            rs_occupancy: 2,
+            rs_capacity: 97,
+            loads_in_flight: 1,
+            phys_free: 100,
+            oldest_unretired: Some("load -> p7".into()),
+            scheduler: SchedulerKind::Vertical,
+            stats: CoreStats::default(),
+        }
+    }
+
+    #[test]
+    fn implicates_memory_when_loads_outstanding() {
+        assert_eq!(diag().stalled_resource(), "memory");
+    }
+
+    #[test]
+    fn implicates_phys_regs_when_pool_empty() {
+        let d = StallDiag { loads_in_flight: 0, phys_free: 0, ..diag() };
+        assert_eq!(d.stalled_resource(), "phys-regs");
+    }
+
+    #[test]
+    fn display_names_the_suspect() {
+        let s = diag().to_string();
+        assert!(s.contains("suspect memory"), "{s}");
+        assert!(s.contains("oldest unretired"), "{s}");
+    }
+}

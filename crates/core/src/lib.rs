@@ -29,6 +29,7 @@
 
 pub mod config;
 pub mod core;
+pub mod diag;
 pub mod lsu;
 pub mod mgu;
 pub mod rename;
@@ -42,5 +43,6 @@ pub mod vpu;
 
 pub use crate::core::{Core, RunOutcome};
 pub use config::{CoreConfig, SchedulerKind};
+pub use diag::{StallCause, StallDiag};
 pub use stats::CoreStats;
 pub use trace::{CountingTracer, TextTracer, TraceEvent, Tracer};

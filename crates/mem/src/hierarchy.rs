@@ -91,6 +91,67 @@ impl Default for MemConfig {
     }
 }
 
+impl MemConfig {
+    /// Rejects memory-system configurations the hierarchy cannot model.
+    ///
+    /// Each cache level must hold at least one full set of 64-byte lines,
+    /// DRAM must have positive bandwidth and at least one channel, and
+    /// every latency/frequency must be a finite non-negative number. The
+    /// error string names the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        fn cache(level: &str, c: &CacheConfig) -> Result<(), String> {
+            if c.ways == 0 {
+                return Err(format!("mem config: {level} ways must be > 0"));
+            }
+            if c.capacity_bytes < c.ways as u64 * 64 {
+                return Err(format!(
+                    "mem config: {level} capacity ({} B) below one {}-way set of 64 B lines",
+                    c.capacity_bytes, c.ways
+                ));
+            }
+            Ok(())
+        }
+        cache("l1", &self.l1)?;
+        cache("l2", &self.l2)?;
+        cache("l3_slice", &self.l3_slice)?;
+        fn finite_pos(what: &str, v: f64) -> Result<(), String> {
+            if !v.is_finite() || v <= 0.0 {
+                Err(format!("mem config: {what} must be positive and finite, got {v}"))
+            } else {
+                Ok(())
+            }
+        }
+        finite_pos("dram.bandwidth_gbps", self.dram.bandwidth_gbps)?;
+        if self.dram.channels == 0 {
+            return Err("mem config: dram.channels must be > 0".to_string());
+        }
+        if !self.dram.latency_ns.is_finite() || self.dram.latency_ns < 0.0 {
+            return Err(format!(
+                "mem config: dram.latency_ns must be finite and >= 0, got {}",
+                self.dram.latency_ns
+            ));
+        }
+        if self.page_bytes == 0 || self.tlb_entries == 0 {
+            return Err("mem config: page_bytes and tlb_entries must be > 0".to_string());
+        }
+        if !self.tlb_walk_ns.is_finite() || self.tlb_walk_ns < 0.0 {
+            return Err(format!(
+                "mem config: tlb_walk_ns must be finite and >= 0, got {}",
+                self.tlb_walk_ns
+            ));
+        }
+        if !self.l3_ns.is_finite() || self.l3_ns < 0.0 {
+            return Err(format!("mem config: l3_ns must be finite and >= 0, got {}", self.l3_ns));
+        }
+        if self.bcast.is_some() && self.bcast_entries == 0 {
+            return Err("mem config: bcast_entries must be > 0 when a B$ is instantiated"
+                .to_string());
+        }
+        finite_pos("uncore_ghz", self.uncore_ghz)?;
+        Ok(())
+    }
+}
+
 /// Where [`CoreMemory::warm`] installs lines.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum WarmLevel {
@@ -529,6 +590,27 @@ mod tests {
 
     fn cfg() -> MemConfig {
         MemConfig { prefetch_degree: 0, bcast: None, ..MemConfig::default() }
+    }
+
+    #[test]
+    fn default_config_validates() {
+        MemConfig::default().validate().unwrap();
+        cfg().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_points() {
+        let mut c = MemConfig::default();
+        c.l1.ways = 0;
+        assert!(c.validate().unwrap_err().contains("l1 ways"));
+
+        let mut c = MemConfig::default();
+        c.dram.channels = 0;
+        assert!(c.validate().unwrap_err().contains("dram.channels"));
+
+        let mut c = MemConfig::default();
+        c.uncore_ghz = 0.0;
+        assert!(c.validate().unwrap_err().contains("uncore_ghz"));
     }
 
     #[test]

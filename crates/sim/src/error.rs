@@ -1,0 +1,133 @@
+//! Typed simulation errors.
+//!
+//! Every fallible entry point in `save-sim` returns [`SimError`] instead of
+//! panicking, so figure sweeps can record a failure for one operating point
+//! and keep going. The type is serializable (it rides inside the sweep-level
+//! [`crate::parallel::FailureReport`]) and keeps only owned strings and
+//! plain data so it crosses thread and process boundaries cleanly.
+
+use save_core::StallDiag;
+use serde::{Deserialize, Serialize};
+
+/// An error from running or configuring a simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum SimError {
+    /// A kernel ran to completion but its output disagreed with the
+    /// functional reference at `index`.
+    VerifyMismatch {
+        /// Kernel / workload name.
+        kernel: String,
+        /// Core that produced the mismatch, when known (multicore runs).
+        core: Option<usize>,
+        /// Element index of the first mismatch.
+        index: usize,
+        /// Value the simulated machine produced.
+        got: f32,
+        /// Value the reference expected.
+        want: f32,
+    },
+    /// The run stopped before draining: it hit the cycle budget or the
+    /// retire-progress watchdog. `diag` says which and names the stalled
+    /// resource.
+    CycleBudgetExceeded {
+        /// Kernel / workload name.
+        kernel: String,
+        /// Core that stalled, when known (multicore runs).
+        core: Option<usize>,
+        /// Pipeline snapshot at the moment the run was aborted.
+        diag: Box<StallDiag>,
+    },
+    /// A core or memory configuration failed validation before the run
+    /// started.
+    InvalidConfig {
+        /// Which field is out of range, verbatim from `validate()`.
+        what: String,
+    },
+    /// A parallel sweep job panicked; the panic was caught at the job
+    /// boundary so the rest of the sweep could finish.
+    WorkerPanic {
+        /// Index of the job in the sweep's item list.
+        job: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// An I/O or serialization failure (writing results, reading configs).
+    Io {
+        /// Description of what failed.
+        what: String,
+    },
+}
+
+impl SimError {
+    /// Short machine-readable tag for tables and filenames.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::VerifyMismatch { .. } => "verify-mismatch",
+            SimError::CycleBudgetExceeded { .. } => "cycle-budget",
+            SimError::InvalidConfig { .. } => "invalid-config",
+            SimError::WorkerPanic { .. } => "worker-panic",
+            SimError::Io { .. } => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::VerifyMismatch { kernel, core, index, got, want } => {
+                write!(f, "kernel {kernel}")?;
+                if let Some(c) = core {
+                    write!(f, " (core {c})")?;
+                }
+                write!(f, ": output mismatch at {index}: got {got} want {want}")
+            }
+            SimError::CycleBudgetExceeded { kernel, core, diag } => {
+                write!(f, "kernel {kernel}")?;
+                if let Some(c) = core {
+                    write!(f, " (core {c})")?;
+                }
+                write!(f, ": did not complete: {diag}")
+            }
+            SimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            SimError::WorkerPanic { job, message } => {
+                write!(f, "sweep job {job} panicked: {message}")
+            }
+            SimError::Io { what } => write!(f, "i/o error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<std::io::Error> for SimError {
+    fn from(e: std::io::Error) -> Self {
+        SimError::Io { what: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_readable() {
+        let e = SimError::VerifyMismatch {
+            kernel: "gemm".into(),
+            core: Some(3),
+            index: 7,
+            got: 1.0,
+            want: 2.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("gemm") && s.contains("core 3") && s.contains("at 7"), "{s}");
+        assert_eq!(e.kind(), "verify-mismatch");
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "no such file");
+        let e: SimError = io.into();
+        assert_eq!(e.kind(), "io");
+        assert!(e.to_string().contains("no such file"));
+    }
+}

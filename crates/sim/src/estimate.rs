@@ -9,14 +9,14 @@
 //! VPUs per epoch for the whole network, *dynamic* per kernel, both with
 //! negligible switching overhead.
 
+use crate::error::SimError;
 use crate::net::Network;
 use crate::runner::{ConfigKind, MachineConfig};
 use crate::surface::Surface;
-use parking_lot::Mutex;
 use save_kernels::{Phase, Precision};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Estimator settings.
 #[derive(Clone, Debug)]
@@ -142,33 +142,43 @@ impl Estimator {
 
     /// Number of distinct surfaces swept so far (deduplication metric).
     pub fn surfaces_built(&self) -> usize {
-        self.surfaces.lock().len()
+        self.lock_surfaces().len()
+    }
+
+    /// A poisoned cache lock only means another sweep panicked mid-insert;
+    /// the map itself is always in a consistent state, so keep going.
+    fn lock_surfaces(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Surface>>> {
+        self.surfaces.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Sweeps (or fetches from cache) the surface of `w` under `kind` with
     /// the given axes.
+    ///
+    /// # Errors
+    /// Propagates the first failing grid point from [`Surface::sweep`];
+    /// nothing is cached on failure.
     pub fn surface(
         &self,
         w: &save_kernels::GemmWorkload,
         kind: ConfigKind,
         a_levels: &[f64],
         b_levels: &[f64],
-    ) -> Arc<Surface> {
+    ) -> Result<Arc<Surface>, SimError> {
         let mut key_w = w.clone();
         key_w.name = String::new();
         key_w.a_sparsity = 0.0;
         key_w.b_sparsity = 0.0;
         let key = format!(
-            "{}|{:?}|{:?}|{:?}|{}c{:?}",
-            serde_json::to_string(&key_w).expect("workload serializes"),
+            "{:?}|{:?}|{:?}|{:?}|{}c{:?}",
+            key_w,
             kind,
             a_levels,
             b_levels,
             self.cfg.machine.cores,
             self.cfg.machine.mode,
         );
-        if let Some(s) = self.surfaces.lock().get(&key) {
-            return Arc::clone(s);
+        if let Some(s) = self.lock_surfaces().get(&key) {
+            return Ok(Arc::clone(s));
         }
         let s = Arc::new(Surface::sweep(
             w,
@@ -177,21 +187,24 @@ impl Estimator {
             a_levels,
             b_levels,
             self.cfg.threads,
-        ));
-        self.surfaces.lock().insert(key, Arc::clone(&s));
-        s
+        )?);
+        self.lock_surfaces().insert(key, Arc::clone(&s));
+        Ok(s)
     }
 
     /// Convenience: the execution time of one kernel at one exact sparsity
     /// point (a single-point "surface", cached).
+    ///
+    /// # Errors
+    /// Propagates the simulation failure for the point.
     pub fn kernel_time(
         &self,
         w: &save_kernels::GemmWorkload,
         kind: ConfigKind,
         a: f64,
         b: f64,
-    ) -> f64 {
-        self.surface(w, kind, &[a], &[b]).secs[0]
+    ) -> Result<f64, SimError> {
+        Ok(self.surface(w, kind, &[a], &[b])?.secs[0])
     }
 
     /// Axis levels for a (layer, phase): the full grid if the sparsity
@@ -209,7 +222,14 @@ impl Estimator {
 
     /// Estimates whole-network inference (end-of-training sparsity, forward
     /// phase only), rescaling each kernel to the layer's full FLOPs.
-    pub fn estimate_inference(&self, net: &Network, precision: Precision) -> InferenceEstimate {
+    ///
+    /// # Errors
+    /// Fails on the first layer whose simulation fails.
+    pub fn estimate_inference(
+        &self,
+        net: &Network,
+        precision: Precision,
+    ) -> Result<InferenceEstimate, SimError> {
         let mut out = InferenceEstimate {
             baseline: SplitTimes::default(),
             save2: SplitTimes::default(),
@@ -220,9 +240,9 @@ impl Estimator {
             let w = layer.workload(Phase::Forward, precision);
             let p = net.inference_point(li);
             let scale = layer.flops() / w.flops();
-            let tb = self.kernel_time(&w, ConfigKind::Baseline, p.a, p.b) * scale;
-            let t2 = self.kernel_time(&w, ConfigKind::Save2Vpu, p.a, p.b) * scale;
-            let t1 = self.kernel_time(&w, ConfigKind::Save1Vpu, p.a, p.b) * scale;
+            let tb = self.kernel_time(&w, ConfigKind::Baseline, p.a, p.b)? * scale;
+            let t2 = self.kernel_time(&w, ConfigKind::Save2Vpu, p.a, p.b)? * scale;
+            let t1 = self.kernel_time(&w, ConfigKind::Save1Vpu, p.a, p.b)? * scale;
             let td = t2.min(t1);
             let (bucket_b, bucket_2, bucket_1, bucket_d) = if li == 0 {
                 (&mut out.baseline.first_layer, &mut out.save2.first_layer, &mut out.save1.first_layer, &mut out.dynamic.first_layer)
@@ -234,12 +254,19 @@ impl Estimator {
             *bucket_1 += t1;
             *bucket_d += td;
         }
-        out
+        Ok(out)
     }
 
     /// Estimates end-to-end training: surfaces per (layer, phase, config),
     /// per-epoch interpolation and summation, mean over epochs (§VI).
-    pub fn estimate_training(&self, net: &Network, precision: Precision) -> TrainingEstimate {
+    ///
+    /// # Errors
+    /// Fails on the first (layer, phase, config) surface whose sweep fails.
+    pub fn estimate_training(
+        &self,
+        net: &Network,
+        precision: Precision,
+    ) -> Result<TrainingEstimate, SimError> {
         let epochs = net.epochs.max(2);
         let progress_of = |e: usize| e as f64 / (epochs - 1) as f64;
 
@@ -261,9 +288,9 @@ impl Estimator {
                 let a_levels = self.axis_levels(&samples_a);
                 let b_levels = self.axis_levels(&samples_b);
                 let surf = [
-                    self.surface(&w, ConfigKind::Baseline, &a_levels, &b_levels),
-                    self.surface(&w, ConfigKind::Save2Vpu, &a_levels, &b_levels),
-                    self.surface(&w, ConfigKind::Save1Vpu, &a_levels, &b_levels),
+                    self.surface(&w, ConfigKind::Baseline, &a_levels, &b_levels)?,
+                    self.surface(&w, ConfigKind::Save2Vpu, &a_levels, &b_levels)?,
+                    self.surface(&w, ConfigKind::Save1Vpu, &a_levels, &b_levels)?,
                 ];
                 lps.push(LayerPhase { layer: li, phase, scale: layer.flops() / w.flops(), surf });
             }
@@ -300,7 +327,7 @@ impl Estimator {
         for t in [&mut baseline, &mut save2, &mut save1, &mut static_, &mut dynamic] {
             t.scale(inv);
         }
-        TrainingEstimate { baseline, save2, save1, static_, dynamic }
+        Ok(TrainingEstimate { baseline, save2, save1, static_, dynamic })
     }
 }
 
@@ -330,7 +357,7 @@ mod tests {
     fn inference_estimate_shows_save_speedup() {
         let est = small_estimator();
         let net = toy_net(NetKind::ResNet50Pruned);
-        let inf = est.estimate_inference(&net, Precision::F32);
+        let inf = est.estimate_inference(&net, Precision::F32).unwrap();
         assert!(inf.baseline.total() > 0.0);
         assert!(
             inf.dynamic.total() < inf.baseline.total(),
@@ -345,7 +372,7 @@ mod tests {
     fn training_estimate_orders_policies() {
         let est = small_estimator();
         let net = toy_net(NetKind::ResNet50Pruned);
-        let tr = est.estimate_training(&net, Precision::F32);
+        let tr = est.estimate_training(&net, Precision::F32).unwrap();
         let (b, s2, st, dy) =
             (tr.baseline.total(), tr.save2.total(), tr.static_.total(), tr.dynamic.total());
         assert!(s2 < b, "SAVE 2-VPU training must beat baseline");
@@ -359,8 +386,8 @@ mod tests {
         let net = toy_net(NetKind::ResNet50Dense);
         let w = net.layers[1].workload(Phase::Forward, Precision::F32);
         let before = est.surfaces_built();
-        est.kernel_time(&w, ConfigKind::Baseline, 0.3, 0.0);
-        est.kernel_time(&w, ConfigKind::Baseline, 0.3, 0.0);
+        est.kernel_time(&w, ConfigKind::Baseline, 0.3, 0.0).unwrap();
+        est.kernel_time(&w, ConfigKind::Baseline, 0.3, 0.0).unwrap();
         assert_eq!(est.surfaces_built(), before + 1);
     }
 }

@@ -16,10 +16,17 @@
 //! 4. [`estimate`] produces the end-to-end inference and training numbers of
 //!    Fig 14, including the static (per-epoch) and dynamic (per-kernel)
 //!    1-vs-2-VPU selection of §IV-D.
+//!
+//! Every fallible entry point returns a typed [`SimError`] instead of
+//! panicking, and [`parallel::parallel_try_map`] isolates panics at the
+//! sweep-job boundary, so a figure sweep with one bad operating point still
+//! completes with partial results and a [`parallel::FailureReport`]
+//! (DESIGN.md, "Error handling & fault isolation").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod estimate;
 pub mod multicore;
 pub mod net;
@@ -29,8 +36,10 @@ pub mod power;
 pub mod runner;
 pub mod surface;
 
+pub use error::SimError;
 pub use estimate::{Estimator, EstimatorConfig, InferenceEstimate, TrainingEstimate};
 pub use net::{LayerShape, Network};
+pub use parallel::{parallel_map, parallel_try_map, FailureReport, JobFailure};
 pub use policy::{PolicyOutcome, VpuPolicy};
 pub use power::{EnergyBreakdown, PowerModel};
 pub use runner::{ConfigKind, KernelResult, MachineConfig, MachineMode};

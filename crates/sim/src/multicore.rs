@@ -7,6 +7,7 @@
 //! The kernel's wall-clock time is the slowest core's finish time — exactly
 //! how a parallel layer completes.
 
+use crate::error::SimError;
 use crate::runner::{warm_regions, ConfigKind, KernelResult, MachineConfig};
 use save_core::Core;
 use save_mem::{CoreMemory, Uncore};
@@ -14,16 +15,22 @@ use save_mem::{CoreMemory, Uncore};
 /// Runs `w` on every core of a detailed machine; returns the slowest core's
 /// result (with its stats).
 ///
-/// # Panics
-/// Panics if `verify` is set and any core's output mismatches its reference.
+/// # Errors
+/// [`SimError::InvalidConfig`] for a rejected operating point,
+/// [`SimError::VerifyMismatch`] (tagged with the offending core) if
+/// `verify` is set and any core's output disagrees with its reference, and
+/// [`SimError::CycleBudgetExceeded`] with the first stalled core's
+/// diagnosis if any core fails to drain.
 pub fn run_multicore(
     w: &save_kernels::GemmWorkload,
     kind: ConfigKind,
     machine: &MachineConfig,
     seed: u64,
     verify: bool,
-) -> KernelResult {
+) -> Result<KernelResult, SimError> {
     let cfg = kind.core_config();
+    cfg.validate().map_err(|what| SimError::InvalidConfig { what })?;
+    machine.mem.validate().map_err(|what| SimError::InvalidConfig { what })?;
     let n = machine.cores.max(1);
     let mut uncore = Uncore::new(&machine.mem, n);
     let mut built: Vec<_> = (0..n).map(|c| w.build(seed.wrapping_add(c as u64))).collect();
@@ -51,27 +58,46 @@ pub fn run_multicore(
         }
     }
 
+    // A core that stalled (watchdog or budget) poisons the whole run: the
+    // layer never finishes. Report the first such core's diagnosis.
+    for (c, o) in outcomes.iter().enumerate() {
+        let o = o.as_ref().expect("loop above filled every outcome");
+        if !o.completed {
+            let diag = o.stall.clone().expect("incomplete runs carry a stall diagnosis");
+            return Err(SimError::CycleBudgetExceeded {
+                kernel: w.name.clone(),
+                core: Some(c),
+                diag: Box::new(diag),
+            });
+        }
+    }
     let mut verified = false;
     if verify {
         for (c, b) in built.iter().enumerate() {
             if let Err((i, got, want)) = b.verify() {
-                panic!("core {c}: output mismatch at {i}: got {got} want {want}");
+                return Err(SimError::VerifyMismatch {
+                    kernel: w.name.clone(),
+                    core: Some(c),
+                    index: i,
+                    got,
+                    want,
+                });
             }
         }
         verified = true;
     }
     let slowest = outcomes
         .into_iter()
-        .map(|o| o.unwrap())
+        .flatten()
         .max_by_key(|o| o.stats.cycles)
         .expect("at least one core");
-    KernelResult {
+    Ok(KernelResult {
         seconds: cfg.cycles_to_seconds(slowest.stats.cycles),
         cycles: slowest.stats.cycles,
         stats: slowest.stats,
         verified,
         completed: slowest.completed,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -98,7 +124,7 @@ mod tests {
     #[test]
     fn four_core_detailed_run_is_correct() {
         let m = MachineConfig { cores: 4, mode: MachineMode::Detailed, ..Default::default() };
-        let r = run_kernel(&tiny(), ConfigKind::Save2Vpu, &m, 3, true);
+        let r = run_kernel(&tiny(), ConfigKind::Save2Vpu, &m, 3, true).unwrap();
         assert!(r.completed && r.verified);
     }
 
@@ -112,8 +138,8 @@ mod tests {
         };
         let m1 = MachineConfig { cores: 1, mode: MachineMode::Detailed, ..Default::default() };
         let m8 = MachineConfig { cores: 8, mode: MachineMode::Detailed, ..Default::default() };
-        let r1 = run_kernel(&w, ConfigKind::Baseline, &m1, 5, false);
-        let r8 = run_kernel(&w, ConfigKind::Baseline, &m8, 5, false);
+        let r1 = run_kernel(&w, ConfigKind::Baseline, &m1, 5, false).unwrap();
+        let r8 = run_kernel(&w, ConfigKind::Baseline, &m8, 5, false).unwrap();
         assert!(r8.cycles >= r1.cycles, "8-core {} vs 1-core {}", r8.cycles, r1.cycles);
     }
 
@@ -123,8 +149,8 @@ mod tests {
         // detailed mode for a compute-bound kernel.
         let md = MachineConfig { cores: 4, mode: MachineMode::Detailed, ..Default::default() };
         let ms = MachineConfig { cores: 4, mode: MachineMode::Symmetric, ..Default::default() };
-        let rd = run_kernel(&tiny(), ConfigKind::Baseline, &md, 9, false);
-        let rs = run_kernel(&tiny(), ConfigKind::Baseline, &ms, 9, false);
+        let rd = run_kernel(&tiny(), ConfigKind::Baseline, &md, 9, false).unwrap();
+        let rs = run_kernel(&tiny(), ConfigKind::Baseline, &ms, 9, false).unwrap();
         let ratio = rd.seconds / rs.seconds;
         assert!((0.5..2.0).contains(&ratio), "detailed/symmetric ratio {ratio:.2}");
     }

@@ -1,19 +1,140 @@
-//! A small work-stealing-free parallel map for independent simulations.
+//! Fault-tolerant parallel map for independent simulations.
 //!
 //! Every kernel simulation is independent (own core, own memory model), so
 //! the sweep driver fans jobs out over host threads with a shared atomic
-//! cursor. `crossbeam` scoped threads keep borrows simple.
+//! cursor. Each job runs behind [`std::panic::catch_unwind`]: one panicking
+//! or erroring operating point produces an `Err` slot (with a bounded
+//! retry for transient panics) instead of taking the whole sweep down. The
+//! per-item `Result`s roll up into a [`FailureReport`] that sweep binaries
+//! dump as JSON before exiting non-zero.
 
+use crate::error::SimError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Applies `f` to every item, in parallel over up to `threads` host threads
-/// (defaults to the available parallelism when `threads == 0`). Results are
-/// returned in input order.
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+use serde::{Deserialize, Serialize};
+
+/// One failed job in a sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobFailure {
+    /// Index of the job in the sweep's item list.
+    pub job: usize,
+    /// Human-readable label for the job, when the sweep provided one.
+    pub label: Option<String>,
+    /// Number of attempts made (1 = no retry).
+    pub attempts: usize,
+    /// The error from the final attempt.
+    pub error: SimError,
+}
+
+/// Sweep-level roll-up of every failed job, JSON-dumpable so a figure run
+/// leaves an audit trail next to its partial results.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FailureReport {
+    /// Total jobs in the sweep.
+    pub total_jobs: usize,
+    /// Jobs that completed.
+    pub succeeded: usize,
+    /// The failures, in job order.
+    pub failures: Vec<JobFailure>,
+}
+
+impl FailureReport {
+    /// Builds a report from per-item results, attaching `label(i)` names.
+    pub fn from_results<R>(
+        results: &[Result<R, SimError>],
+        label: impl Fn(usize) -> Option<String>,
+    ) -> Self {
+        let failures: Vec<JobFailure> = results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                r.as_ref().err().map(|e| JobFailure {
+                    job: i,
+                    label: label(i),
+                    attempts: 1,
+                    error: e.clone(),
+                })
+            })
+            .collect();
+        FailureReport {
+            total_jobs: results.len(),
+            succeeded: results.len() - failures.len(),
+            failures,
+        }
+    }
+
+    /// `true` when every job succeeded.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The process exit code a sweep binary should return: 0 when clean,
+    /// 1 when any job failed.
+    pub fn exit_code(&self) -> i32 {
+        if self.is_clean() { 0 } else { 1 }
+    }
+}
+
+impl std::fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}/{} jobs succeeded", self.succeeded, self.total_jobs)?;
+        for fail in &self.failures {
+            write!(f, "  job {}", fail.job)?;
+            if let Some(l) = &fail.label {
+                write!(f, " ({l})")?;
+            }
+            writeln!(f, ": [{}] {}", fail.error.kind(), fail.error)?;
+        }
+        Ok(())
+    }
+}
+
+/// Turns a caught panic payload into a [`SimError::WorkerPanic`].
+fn panic_error(job: usize, payload: Box<dyn std::any::Any + Send>) -> SimError {
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    SimError::WorkerPanic { job, message }
+}
+
+/// Runs one job with panic isolation and up to `retries` re-attempts after
+/// a panic. Deterministic `Err` returns are NOT retried — a verify mismatch
+/// or invalid config will not heal on a second run.
+fn run_job<T, R, F>(items: &[T], i: usize, retries: usize, f: &F) -> Result<R, SimError>
+where
+    F: Fn(&T) -> Result<R, SimError>,
+{
+    let mut last = None;
+    for _ in 0..=retries {
+        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+            Ok(r) => return r,
+            Err(payload) => last = Some(panic_error(i, payload)),
+        }
+    }
+    Err(last.expect("loop ran at least once"))
+}
+
+/// Applies the fallible `f` to every item, in parallel over up to `threads`
+/// host threads (the available parallelism when `threads == 0`), catching
+/// panics at the job boundary and retrying a panicked job up to `retries`
+/// times. Results are returned in input order; a failed job occupies its
+/// slot as an `Err` while every other job still completes.
+pub fn parallel_try_map<T, R, F>(
+    items: &[T],
+    threads: usize,
+    retries: usize,
+    f: F,
+) -> Vec<Result<R, SimError>>
 where
     T: Sync,
     R: Send,
-    F: Fn(&T) -> R + Sync,
+    F: Fn(&T) -> Result<R, SimError> + Sync,
 {
     let threads = if threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
@@ -22,27 +143,49 @@ where
     }
     .min(items.len().max(1));
     if threads <= 1 {
-        return items.iter().map(&f).collect();
+        return (0..items.len()).map(|i| run_job(items, i, retries, &f)).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let slot_ptrs: Vec<parking_lot::Mutex<&mut Option<R>>> =
-        slots.iter_mut().map(parking_lot::Mutex::new).collect();
-    crossbeam::thread::scope(|s| {
+    let collected: Mutex<Vec<(usize, Result<R, SimError>)>> =
+        Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            s.spawn(|| {
+                let mut local: Vec<(usize, Result<R, SimError>)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, run_job(items, i, retries, &f)));
                 }
-                let r = f(&items[i]);
-                **slot_ptrs[i].lock() = Some(r);
+                let mut all = collected.lock().unwrap_or_else(|p| p.into_inner());
+                all.extend(local);
             });
         }
-    })
-    .expect("worker thread panicked");
-    drop(slot_ptrs);
-    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    });
+    let mut all = collected.into_inner().unwrap_or_else(|p| p.into_inner());
+    all.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(all.len(), items.len());
+    all.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Infallible convenience wrapper over [`parallel_try_map`] for closures
+/// that cannot fail. A panic inside `f` still propagates (after poisoning
+/// only its own job), so pure-math sweeps keep their simple signature.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_try_map(items, threads, 0, |t| Ok(f(t)))
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(e) => panic!("parallel_map job failed: {e}"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -68,5 +211,69 @@ mod tests {
     fn empty_input() {
         let items: Vec<u32> = vec![];
         assert!(parallel_map(&items, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn one_panicking_job_leaves_the_rest_ok() {
+        let items: Vec<u32> = (0..16).collect();
+        let out = parallel_try_map(&items, 4, 0, |&x| {
+            if x == 7 {
+                panic!("job seven exploded");
+            }
+            Ok(x * 2)
+        });
+        assert_eq!(out.len(), 16);
+        for (i, r) in out.iter().enumerate() {
+            if i == 7 {
+                match r {
+                    Err(SimError::WorkerPanic { job, message }) => {
+                        assert_eq!(*job, 7);
+                        assert!(message.contains("exploded"), "{message}");
+                    }
+                    other => panic!("expected WorkerPanic, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i as u32) * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn panics_are_retried_but_errors_are_not() {
+        use std::sync::atomic::AtomicUsize;
+        let attempts = AtomicUsize::new(0);
+        let items = vec![0u32];
+        let out = parallel_try_map(&items, 1, 2, |_| -> Result<u32, SimError> {
+            attempts.fetch_add(1, Ordering::SeqCst);
+            panic!("always");
+        });
+        assert_eq!(attempts.load(Ordering::SeqCst), 3, "1 attempt + 2 retries");
+        assert!(matches!(out[0], Err(SimError::WorkerPanic { .. })));
+
+        let attempts = AtomicUsize::new(0);
+        let out = parallel_try_map(&items, 1, 2, |_| -> Result<u32, SimError> {
+            attempts.fetch_add(1, Ordering::SeqCst);
+            Err(SimError::InvalidConfig { what: "deterministic".into() })
+        });
+        assert_eq!(attempts.load(Ordering::SeqCst), 1, "Err results must not retry");
+        assert!(matches!(out[0], Err(SimError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn failure_report_counts_and_exit_code() {
+        let results: Vec<Result<u32, SimError>> = vec![
+            Ok(1),
+            Err(SimError::InvalidConfig { what: "bad".into() }),
+            Ok(3),
+        ];
+        let rep = FailureReport::from_results(&results, |i| Some(format!("job-{i}")));
+        assert_eq!(rep.total_jobs, 3);
+        assert_eq!(rep.succeeded, 2);
+        assert_eq!(rep.failures.len(), 1);
+        assert_eq!(rep.failures[0].label.as_deref(), Some("job-1"));
+        assert_eq!(rep.exit_code(), 1);
+        assert!(!rep.is_clean());
+        let clean = FailureReport::from_results::<u32>(&[Ok(1)], |_| None);
+        assert_eq!(clean.exit_code(), 0);
     }
 }

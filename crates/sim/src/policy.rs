@@ -8,6 +8,7 @@
 //! watches the previous kernel's effectual-lane fraction from the MGUs and
 //! switches with hysteresis, charging a DVFS transition penalty per switch.
 
+use crate::error::SimError;
 use crate::runner::{run_kernel, ConfigKind, MachineConfig};
 use save_kernels::GemmWorkload;
 use serde::{Deserialize, Serialize};
@@ -63,11 +64,16 @@ pub struct PolicyOutcome {
 /// The scale factor multiplies each kernel's simulated time (the layer's
 /// full FLOPs over the scaled-down kernel's, DESIGN.md §4) so switching
 /// overhead is weighed against realistic kernel durations.
+///
+/// # Errors
+/// Fails on the first kernel whose simulation fails; the sequence is
+/// stateful (the heuristic feeds each kernel's counters into the next
+/// decision), so a partial result would be misleading.
 pub fn run_sequence(
     kernels: &[(GemmWorkload, f64)],
     policy: VpuPolicy,
     machine: &MachineConfig,
-) -> PolicyOutcome {
+) -> Result<PolicyOutcome, SimError> {
     let mut total = 0.0;
     let mut switches = 0;
     let mut choices = Vec::with_capacity(kernels.len());
@@ -77,8 +83,8 @@ pub fn run_sequence(
         let kind = match policy {
             VpuPolicy::Fixed(k) => k,
             VpuPolicy::Oracle => {
-                let t2 = run_kernel(w, ConfigKind::Save2Vpu, machine, seed, false).seconds;
-                let t1 = run_kernel(w, ConfigKind::Save1Vpu, machine, seed, false).seconds;
+                let t2 = run_kernel(w, ConfigKind::Save2Vpu, machine, seed, false)?.seconds;
+                let t1 = run_kernel(w, ConfigKind::Save1Vpu, machine, seed, false)?.seconds;
                 if t1 < t2 {
                     ConfigKind::Save1Vpu
                 } else {
@@ -87,7 +93,7 @@ pub fn run_sequence(
             }
             VpuPolicy::Heuristic { .. } => current,
         };
-        let r = run_kernel(w, kind, machine, seed, false);
+        let r = run_kernel(w, kind, machine, seed, false)?;
         total += r.seconds * scale;
         choices.push(kind);
         if let VpuPolicy::Heuristic { down_threshold, up_threshold, switch_overhead_s } = policy {
@@ -106,7 +112,7 @@ pub fn run_sequence(
             }
         }
     }
-    PolicyOutcome { total_seconds: total, switches, choices }
+    Ok(PolicyOutcome { total_seconds: total, switches, choices })
 }
 
 #[cfg(test)]
@@ -143,9 +149,9 @@ mod tests {
             (kernel(0.7, 0.9), 1.0),
         ];
         let m = machine();
-        let oracle = run_sequence(&seq, VpuPolicy::Oracle, &m);
-        let f2 = run_sequence(&seq, VpuPolicy::Fixed(ConfigKind::Save2Vpu), &m);
-        let f1 = run_sequence(&seq, VpuPolicy::Fixed(ConfigKind::Save1Vpu), &m);
+        let oracle = run_sequence(&seq, VpuPolicy::Oracle, &m).unwrap();
+        let f2 = run_sequence(&seq, VpuPolicy::Fixed(ConfigKind::Save2Vpu), &m).unwrap();
+        let f1 = run_sequence(&seq, VpuPolicy::Fixed(ConfigKind::Save1Vpu), &m).unwrap();
         assert!(oracle.total_seconds <= f2.total_seconds + 1e-12);
         assert!(oracle.total_seconds <= f1.total_seconds + 1e-12);
         assert!(oracle.choices.contains(&ConfigKind::Save1Vpu));
@@ -163,7 +169,7 @@ mod tests {
         for _ in 0..4 {
             seq.push((kernel(0.0, 0.0), 1.0));
         }
-        let out = run_sequence(&seq, VpuPolicy::default_heuristic(), &machine());
+        let out = run_sequence(&seq, VpuPolicy::default_heuristic(), &machine()).unwrap();
         assert!(out.switches >= 2, "expected at least down+up transitions");
         assert_eq!(out.choices[3], ConfigKind::Save1Vpu, "sparse phase should run on 1 VPU");
         assert_eq!(*out.choices.last().unwrap(), ConfigKind::Save2Vpu, "dense phase back on 2");
@@ -181,8 +187,8 @@ mod tests {
             seq.push((kernel(0.75, 0.8), 20_000.0));
         }
         let m = machine();
-        let oracle = run_sequence(&seq, VpuPolicy::Oracle, &m);
-        let heur = run_sequence(&seq, VpuPolicy::default_heuristic(), &m);
+        let oracle = run_sequence(&seq, VpuPolicy::Oracle, &m).unwrap();
+        let heur = run_sequence(&seq, VpuPolicy::default_heuristic(), &m).unwrap();
         // One mispredicted kernel of six plus switch cost: within 25%.
         assert!(
             heur.total_seconds <= oracle.total_seconds * 1.25,

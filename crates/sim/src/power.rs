@@ -125,8 +125,8 @@ mod tests {
     fn sparse_runs_use_less_vpu_energy() {
         let m = MachineConfig::default();
         let pm = PowerModel::default();
-        let dense = run_kernel(&kernel(0.0, 0.0), ConfigKind::Save2Vpu, &m, 1, false);
-        let sparse = run_kernel(&kernel(0.6, 0.6), ConfigKind::Save2Vpu, &m, 1, false);
+        let dense = run_kernel(&kernel(0.0, 0.0), ConfigKind::Save2Vpu, &m, 1, false).unwrap();
+        let sparse = run_kernel(&kernel(0.6, 0.6), ConfigKind::Save2Vpu, &m, 1, false).unwrap();
         let ed = pm.estimate(&dense, 2);
         let es = pm.estimate(&sparse, 2);
         assert!(es.vpu_j < ed.vpu_j * 0.6, "VPU energy must drop with skipped work");
@@ -138,8 +138,8 @@ mod tests {
         let m = MachineConfig::default();
         let pm = PowerModel::default();
         let w = kernel(0.7, 0.8);
-        let r2 = run_kernel(&w, ConfigKind::Save2Vpu, &m, 1, false);
-        let r1 = run_kernel(&w, ConfigKind::Save1Vpu, &m, 1, false);
+        let r2 = run_kernel(&w, ConfigKind::Save2Vpu, &m, 1, false).unwrap();
+        let r1 = run_kernel(&w, ConfigKind::Save1Vpu, &m, 1, false).unwrap();
         let e2 = pm.estimate(&r2, 2);
         let e1 = pm.estimate(&r1, 1);
         // §IV-D: at high sparsity one VPU does (at least) comparable work
@@ -156,7 +156,7 @@ mod tests {
     fn breakdown_sums_and_power_is_positive() {
         let m = MachineConfig::default();
         let pm = PowerModel::default();
-        let r = run_kernel(&kernel(0.3, 0.3), ConfigKind::Save2Vpu, &m, 1, false);
+        let r = run_kernel(&kernel(0.3, 0.3), ConfigKind::Save2Vpu, &m, 1, false).unwrap();
         let e = pm.estimate(&r, 2);
         let sum = e.static_j + e.vpu_j + e.frontend_j + e.memory_j;
         assert!((e.total_j() - sum).abs() < 1e-18);

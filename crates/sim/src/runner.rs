@@ -1,5 +1,6 @@
 //! Single-kernel execution on a configured machine.
 
+use crate::error::SimError;
 use save_core::{Core, CoreConfig, CoreStats, SchedulerKind};
 use save_kernels::{GemmWorkload, RegionRole};
 use save_mem::{CoreMemory, MemConfig, Uncore, WarmLevel};
@@ -111,16 +112,20 @@ pub fn warm_regions(
 /// the uncore; in [`MachineMode::Detailed`] this delegates to
 /// [`crate::multicore::run_multicore`] and reports the slowest core.
 ///
-/// # Panics
-/// Panics if `verify` is set and the kernel's numerical output does not
-/// match the reference — that is always a simulator bug.
+/// # Errors
+/// * [`SimError::InvalidConfig`] if the operating point fails validation;
+/// * [`SimError::VerifyMismatch`] if `verify` is set and the kernel's
+///   numerical output disagrees with the reference (always a simulator bug);
+/// * [`SimError::CycleBudgetExceeded`] if the run hits the cycle budget or
+///   the retire-progress watchdog — the error carries a
+///   [`save_core::StallDiag`] naming the stalled resource.
 pub fn run_kernel(
     w: &GemmWorkload,
     kind: ConfigKind,
     machine: &MachineConfig,
     seed: u64,
     verify: bool,
-) -> KernelResult {
+) -> Result<KernelResult, SimError> {
     match machine.mode {
         MachineMode::Detailed => crate::multicore::run_multicore(w, kind, machine, seed, verify),
         MachineMode::Symmetric => run_kernel_custom(w, &kind.core_config(), machine, seed, verify),
@@ -136,33 +141,45 @@ pub fn run_kernel_custom(
     machine: &MachineConfig,
     seed: u64,
     verify: bool,
-) -> KernelResult {
-    {
-        {
-            let cfg = *core_cfg;
-            let mut built = w.build(seed);
-            let mut uncore = Uncore::new_symmetric(&machine.mem, machine.cores);
-            let mut cmem = CoreMemory::new(0, machine.mem, cfg.freq_ghz);
-            warm_regions(w, &built, &mut cmem, &mut uncore);
-            let core = Core::new(cfg);
-            let out = core.run(&built.program, &mut built.mem, &mut cmem, &mut uncore);
-            let verified = if verify {
-                if let Err((i, got, want)) = built.verify() {
-                    panic!("kernel {}: output mismatch at {i}: got {got} want {want}", w.name);
-                }
-                true
-            } else {
-                false
-            };
-            KernelResult {
-                seconds: cfg.cycles_to_seconds(out.stats.cycles),
-                cycles: out.stats.cycles,
-                stats: out.stats,
-                verified,
-                completed: out.completed,
-            }
-        }
+) -> Result<KernelResult, SimError> {
+    let cfg = *core_cfg;
+    cfg.validate().map_err(|what| SimError::InvalidConfig { what })?;
+    machine.mem.validate().map_err(|what| SimError::InvalidConfig { what })?;
+    let mut built = w.build(seed);
+    let mut uncore = Uncore::new_symmetric(&machine.mem, machine.cores);
+    let mut cmem = CoreMemory::new(0, machine.mem, cfg.freq_ghz);
+    warm_regions(w, &built, &mut cmem, &mut uncore);
+    let core = Core::new(cfg);
+    let out = core.run(&built.program, &mut built.mem, &mut cmem, &mut uncore);
+    if !out.completed {
+        let diag = out.stall.expect("incomplete runs carry a stall diagnosis");
+        return Err(SimError::CycleBudgetExceeded {
+            kernel: w.name.clone(),
+            core: None,
+            diag: Box::new(diag),
+        });
     }
+    let verified = if verify {
+        if let Err((i, got, want)) = built.verify() {
+            return Err(SimError::VerifyMismatch {
+                kernel: w.name.clone(),
+                core: None,
+                index: i,
+                got,
+                want,
+            });
+        }
+        true
+    } else {
+        false
+    };
+    Ok(KernelResult {
+        seconds: cfg.cycles_to_seconds(out.stats.cycles),
+        cycles: out.stats.cycles,
+        stats: out.stats,
+        verified,
+        completed: out.completed,
+    })
 }
 
 /// Sanity helper used by tests: the scheduler kind of an operating point.
@@ -192,10 +209,37 @@ mod tests {
 
     #[test]
     fn symmetric_run_verifies_and_times() {
-        let r = run_kernel(&tiny(), ConfigKind::Save2Vpu, &MachineConfig::default(), 1, true);
+        let r = run_kernel(&tiny(), ConfigKind::Save2Vpu, &MachineConfig::default(), 1, true)
+            .unwrap();
         assert!(r.completed && r.verified);
         assert!(r.seconds > 0.0);
         assert_eq!(r.stats.fma_uops, tiny().fma_count());
+    }
+
+    #[test]
+    fn invalid_operating_point_is_rejected_up_front() {
+        let bad = CoreConfig { num_vpus: 0, ..CoreConfig::default() };
+        let err = run_kernel_custom(&tiny(), &bad, &MachineConfig::default(), 1, false)
+            .unwrap_err();
+        match err {
+            SimError::InvalidConfig { what } => assert!(what.contains("num_vpus"), "{what}"),
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cycle_budget_overrun_carries_a_stall_diag() {
+        let starved = CoreConfig { max_cycles: 20, ..CoreConfig::default() };
+        let err = run_kernel_custom(&tiny(), &starved, &MachineConfig::default(), 1, false)
+            .unwrap_err();
+        match err {
+            SimError::CycleBudgetExceeded { kernel, diag, .. } => {
+                assert_eq!(kernel, "tiny");
+                assert_eq!(diag.cause, save_core::StallCause::CycleBudget);
+                assert_eq!(diag.cycle, 20);
+            }
+            other => panic!("expected CycleBudgetExceeded, got {other}"),
+        }
     }
 
     #[test]
@@ -208,8 +252,10 @@ mod tests {
 
     #[test]
     fn deterministic_across_repeats() {
-        let a = run_kernel(&tiny(), ConfigKind::Save1Vpu, &MachineConfig::default(), 7, false);
-        let b = run_kernel(&tiny(), ConfigKind::Save1Vpu, &MachineConfig::default(), 7, false);
+        let a = run_kernel(&tiny(), ConfigKind::Save1Vpu, &MachineConfig::default(), 7, false)
+            .unwrap();
+        let b = run_kernel(&tiny(), ConfigKind::Save1Vpu, &MachineConfig::default(), 7, false)
+            .unwrap();
         assert_eq!(a.cycles, b.cycles);
     }
 }

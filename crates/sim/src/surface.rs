@@ -7,7 +7,8 @@
 //! with degenerate axes collapsed when a phase has no sparsity of one type
 //! (Table III), which removes most of the sweep cost.
 
-use crate::parallel::parallel_map;
+use crate::error::SimError;
+use crate::parallel::parallel_try_map;
 use crate::runner::{run_kernel, ConfigKind, MachineConfig};
 use save_kernels::GemmWorkload;
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,12 @@ impl Surface {
     /// Builds a surface by simulating `w` at every grid point for `kind`.
     /// Pass a single-level axis (e.g. `[0.0]`) for a sparsity type the
     /// phase does not exhibit.
+    ///
+    /// # Errors
+    /// A surface is only meaningful when complete, so the first grid point
+    /// that fails (stall, invalid config, worker panic) fails the sweep;
+    /// the error identifies the point through the kernel name and, for a
+    /// panic, the job index.
     pub fn sweep(
         w: &GemmWorkload,
         kind: ConfigKind,
@@ -45,19 +52,21 @@ impl Surface {
         a_levels: &[f64],
         b_levels: &[f64],
         threads: usize,
-    ) -> Surface {
+    ) -> Result<Surface, SimError> {
         let points: Vec<(f64, f64)> = a_levels
             .iter()
             .flat_map(|&a| b_levels.iter().map(move |&b| (a, b)))
             .collect();
-        let secs = parallel_map(&points, threads, |&(a, b)| {
+        let secs = parallel_try_map(&points, threads, 0, |&(a, b)| {
             let wk = w.clone().with_sparsity(a, b);
             // Seed ties to the sparsity point so repeated sweeps are
             // deterministic while points stay independent.
             let seed = ((a * 1000.0) as u64) << 20 | ((b * 1000.0) as u64) << 4;
-            run_kernel(&wk, kind, machine, seed, false).seconds
-        });
-        Surface { a_levels: a_levels.to_vec(), b_levels: b_levels.to_vec(), secs }
+            Ok(run_kernel(&wk, kind, machine, seed, false)?.seconds)
+        })
+        .into_iter()
+        .collect::<Result<Vec<f64>, SimError>>()?;
+        Ok(Surface { a_levels: a_levels.to_vec(), b_levels: b_levels.to_vec(), secs })
     }
 
     fn bracket(levels: &[f64], x: f64) -> (usize, usize, f64) {

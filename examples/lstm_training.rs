@@ -6,10 +6,10 @@
 
 use save::kernels::{Phase, Precision};
 use save::sim::runner::run_kernel;
-use save::sim::{ConfigKind, MachineConfig};
+use save::sim::{ConfigKind, MachineConfig, SimError};
 use save::sparsity::PruningSchedule;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let cell = save::kernels::shapes::gnmt(64).remove(1); // a mid-stack encoder cell
     let schedule = PruningSchedule::gnmt();
     let machine = MachineConfig::default();
@@ -20,9 +20,9 @@ fn main() {
     for step in (0..=340_000).step_by(34_000) {
         let ws = schedule.sparsity_at(step as f64);
         let w = w0.clone().with_sparsity(0.2, ws);
-        let tb = run_kernel(&w, ConfigKind::Baseline, &machine, step as u64, false).seconds;
-        let t2 = run_kernel(&w, ConfigKind::Save2Vpu, &machine, step as u64, false).seconds;
-        let t1 = run_kernel(&w, ConfigKind::Save1Vpu, &machine, step as u64, false).seconds;
+        let tb = run_kernel(&w, ConfigKind::Baseline, &machine, step as u64, false)?.seconds;
+        let t2 = run_kernel(&w, ConfigKind::Save2Vpu, &machine, step as u64, false)?.seconds;
+        let t1 = run_kernel(&w, ConfigKind::Save1Vpu, &machine, step as u64, false)?.seconds;
         println!(
             "{:>10}  {:>7.0}%  {:>10.2}x  {:>10.2}x",
             step,
@@ -34,4 +34,5 @@ fn main() {
     println!("\nNote the paper's §VII-A observation: with 2 VPUs the LSTM speedup caps");
     println!("once weights are ~20% pruned (memory bound); with 1 VPU at 2.1 GHz the");
     println!("speedup keeps growing until much deeper pruning.");
+    Ok(())
 }

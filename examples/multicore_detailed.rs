@@ -6,17 +6,19 @@
 
 use save::kernels::{Phase, Precision};
 use save::sim::runner::run_kernel;
-use save::sim::{ConfigKind, MachineConfig, MachineMode};
+use save::sim::{ConfigKind, MachineConfig, MachineMode, SimError};
 
-fn main() {
-    let shape = save::kernels::shapes::conv_by_name("ResNet3_2").expect("shape table");
+fn main() -> Result<(), SimError> {
+    let shape = save::kernels::shapes::conv_by_name("ResNet3_2").ok_or_else(|| {
+        SimError::InvalidConfig { what: "ResNet3_2 missing from the shape table".into() }
+    })?;
     let w = shape.workload(Phase::Forward, Precision::F32).with_sparsity(0.4, 0.8);
 
     for cores in [1usize, 4, 8] {
         let detailed = MachineConfig { cores, mode: MachineMode::Detailed, ..Default::default() };
         let symmetric = MachineConfig { cores, mode: MachineMode::Symmetric, ..Default::default() };
-        let rd = run_kernel(&w, ConfigKind::Save2Vpu, &detailed, 1, true);
-        let rs = run_kernel(&w, ConfigKind::Save2Vpu, &symmetric, 1, true);
+        let rd = run_kernel(&w, ConfigKind::Save2Vpu, &detailed, 1, true)?;
+        let rs = run_kernel(&w, ConfigKind::Save2Vpu, &symmetric, 1, true)?;
         println!(
             "{cores:>2} cores: detailed {:>8} cycles (slowest core), symmetric {:>8} cycles, ratio {:.2}",
             rd.cycles,
@@ -27,4 +29,5 @@ fn main() {
     println!("\nEvery core's numerical output was verified against its reference.");
     println!("The symmetric mode (used for the parameter sweeps) tracks the detailed");
     println!("mode closely for the compute-bound kernels that dominate the evaluation.");
+    Ok(())
 }

@@ -6,10 +6,10 @@
 //! (takes a couple of minutes: it sweeps every unique layer shape).
 
 use save::kernels::Precision;
-use save::sim::{Estimator, EstimatorConfig, Network};
+use save::sim::{Estimator, EstimatorConfig, Network, SimError};
 use save::sparsity::NetKind;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let cfg = EstimatorConfig { grid: vec![0.0, 0.3, 0.6, 0.9], ..Default::default() };
     let est = Estimator::new(cfg);
 
@@ -20,7 +20,7 @@ fn main() {
         net.schedule.final_sparsity() * 100.0
     );
     for prec in [Precision::F32, Precision::Mixed] {
-        let inf = est.estimate_inference(&net, prec);
+        let inf = est.estimate_inference(&net, prec)?;
         let base = inf.baseline.total();
         println!("\n{prec} inference, normalized execution time (baseline = 1.00):");
         println!("  SAVE 2 VPUs : {:.2}  ({:.2}x)", inf.save2.total() / base, base / inf.save2.total());
@@ -32,4 +32,5 @@ fn main() {
         );
     }
     println!("\npaper (Fig 14a, MP dynamic): 1.59x");
+    Ok(())
 }

@@ -5,9 +5,9 @@
 
 use save::kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision};
 use save::sim::runner::run_kernel;
-use save::sim::{ConfigKind, MachineConfig};
+use save::sim::{ConfigKind, MachineConfig, SimError};
 
-fn main() {
+fn main() -> Result<(), SimError> {
     // A DNNL-style register-blocked GEMM micro-kernel: 7x3 accumulators,
     // explicit broadcasts, FP32; 40% broadcasted sparsity (zero activations)
     // and 60% non-broadcasted sparsity (pruned weights).
@@ -28,9 +28,9 @@ fn main() {
     let machine = MachineConfig::default();
 
     println!("simulating `{}` ({} VFMA µops)...", workload.name, workload.fma_count());
-    let baseline = run_kernel(&workload, ConfigKind::Baseline, &machine, 42, true);
-    let save2 = run_kernel(&workload, ConfigKind::Save2Vpu, &machine, 42, true);
-    let save1 = run_kernel(&workload, ConfigKind::Save1Vpu, &machine, 42, true);
+    let baseline = run_kernel(&workload, ConfigKind::Baseline, &machine, 42, true)?;
+    let save2 = run_kernel(&workload, ConfigKind::Save2Vpu, &machine, 42, true)?;
+    let save1 = run_kernel(&workload, ConfigKind::Save1Vpu, &machine, 42, true)?;
 
     println!("baseline (2 VPUs @ 1.7 GHz): {:>8} cycles", baseline.cycles);
     println!(
@@ -50,4 +50,5 @@ fn main() {
         100.0 * (1.0 - save2.stats.vpu_ops as f64 / baseline.stats.vpu_ops as f64)
     );
     println!("numerical outputs verified against the scalar reference on every run.");
+    Ok(())
 }

@@ -8,11 +8,13 @@
 
 use save::kernels::{Phase, Precision};
 use save::sim::policy::{run_sequence, VpuPolicy};
-use save::sim::{ConfigKind, MachineConfig};
+use save::sim::{ConfigKind, MachineConfig, SimError};
 use save::sparsity::PruningSchedule;
 
-fn main() {
-    let shape = save::kernels::shapes::conv_by_name("ResNet4_2").expect("shape table");
+fn main() -> Result<(), SimError> {
+    let shape = save::kernels::shapes::conv_by_name("ResNet4_2").ok_or_else(|| {
+        SimError::InvalidConfig { what: "ResNet4_2 missing from the shape table".into() }
+    })?;
     let schedule = PruningSchedule::resnet50();
     let machine = MachineConfig { cores: 8, ..Default::default() };
 
@@ -37,7 +39,7 @@ fn main() {
         ("oracle      ", VpuPolicy::Oracle),
         ("heuristic   ", VpuPolicy::default_heuristic()),
     ] {
-        let out = run_sequence(&kernels, policy, &machine);
+        let out = run_sequence(&kernels, policy, &machine)?;
         let ones = out.choices.iter().filter(|c| **c == ConfigKind::Save1Vpu).count();
         println!(
             "{label}: {:>7.2} ms total, {:>2} switches, {:>2}/16 kernels on 1 VPU",
@@ -49,4 +51,5 @@ fn main() {
     println!("\nThe heuristic needs no oracle: it reads the previous kernel's");
     println!("effectual-lane fraction from the MGU counters and pays real DVFS");
     println!("transitions, yet lands close to the oracle's time.");
+    Ok(())
 }

@@ -26,8 +26,8 @@ fn workload() -> GemmWorkload {
 #[test]
 fn symmetric_mode_is_deterministic() {
     let m = MachineConfig::default();
-    let a = run_kernel(&workload(), ConfigKind::Save2Vpu, &m, 77, true);
-    let b = run_kernel(&workload(), ConfigKind::Save2Vpu, &m, 77, true);
+    let a = run_kernel(&workload(), ConfigKind::Save2Vpu, &m, 77, true).unwrap();
+    let b = run_kernel(&workload(), ConfigKind::Save2Vpu, &m, 77, true).unwrap();
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.stats.vpu_ops, b.stats.vpu_ops);
     assert_eq!(a.stats.lanes_issued, b.stats.lanes_issued);
@@ -36,16 +36,16 @@ fn symmetric_mode_is_deterministic() {
 #[test]
 fn detailed_mode_is_deterministic() {
     let m = MachineConfig { cores: 3, mode: MachineMode::Detailed, ..Default::default() };
-    let a = run_kernel(&workload(), ConfigKind::Save1Vpu, &m, 99, true);
-    let b = run_kernel(&workload(), ConfigKind::Save1Vpu, &m, 99, true);
+    let a = run_kernel(&workload(), ConfigKind::Save1Vpu, &m, 99, true).unwrap();
+    let b = run_kernel(&workload(), ConfigKind::Save1Vpu, &m, 99, true).unwrap();
     assert_eq!(a.cycles, b.cycles);
 }
 
 #[test]
 fn seeds_change_data_not_workload_shape() {
     let m = MachineConfig::default();
-    let a = run_kernel(&workload(), ConfigKind::Baseline, &m, 1, true);
-    let b = run_kernel(&workload(), ConfigKind::Baseline, &m, 2, true);
+    let a = run_kernel(&workload(), ConfigKind::Baseline, &m, 1, true).unwrap();
+    let b = run_kernel(&workload(), ConfigKind::Baseline, &m, 2, true).unwrap();
     // Baseline timing is sparsity-insensitive; different data, same work.
     assert_eq!(a.stats.fma_uops, b.stats.fma_uops);
     assert!((a.cycles as f64 / b.cycles as f64 - 1.0).abs() < 0.05);

@@ -23,7 +23,7 @@ fn named_kernels_run_correctly_on_every_operating_point() {
             for prec in [Precision::F32, Precision::Mixed] {
                 let w = small_workload(name, phase, prec).with_sparsity(0.3, 0.5);
                 for kind in ConfigKind::ALL {
-                    let r = run_kernel(&w, kind, &machine, 5, true);
+                    let r = run_kernel(&w, kind, &machine, 5, true).unwrap();
                     assert!(r.completed && r.verified, "{name} {phase} {prec} {kind:?}");
                 }
             }
@@ -39,7 +39,7 @@ fn detailed_multicore_matches_reference_for_lstm() {
     w.b_panel_tiles = 2;
     w.k_total = 32;
     let m = MachineConfig { cores: 4, mode: MachineMode::Detailed, ..Default::default() };
-    let r = run_kernel(&w, ConfigKind::Save2Vpu, &m, 11, true);
+    let r = run_kernel(&w, ConfigKind::Save2Vpu, &m, 11, true).unwrap();
     assert!(r.completed && r.verified);
 }
 
@@ -47,16 +47,16 @@ fn detailed_multicore_matches_reference_for_lstm() {
 fn landmark_bs_and_nbs_both_deliver_speedup() {
     let machine = MachineConfig::default();
     let dense = small_workload("ResNet3_2", Phase::Forward, Precision::F32);
-    let t_dense = run_kernel(&dense, ConfigKind::Save2Vpu, &machine, 3, false).seconds;
+    let t_dense = run_kernel(&dense, ConfigKind::Save2Vpu, &machine, 3, false).unwrap().seconds;
     let bs = dense.clone().with_sparsity(0.6, 0.0);
     let nbs = dense.clone().with_sparsity(0.0, 0.6);
-    let t_bs = run_kernel(&bs, ConfigKind::Save2Vpu, &machine, 3, false).seconds;
-    let t_nbs = run_kernel(&nbs, ConfigKind::Save2Vpu, &machine, 3, false).seconds;
+    let t_bs = run_kernel(&bs, ConfigKind::Save2Vpu, &machine, 3, false).unwrap().seconds;
+    let t_nbs = run_kernel(&nbs, ConfigKind::Save2Vpu, &machine, 3, false).unwrap().seconds;
     assert!(t_bs < t_dense * 0.9, "BS must speed up SAVE ({t_bs} vs {t_dense})");
     assert!(t_nbs < t_dense * 0.9, "NBS must speed up SAVE ({t_nbs} vs {t_dense})");
     // The baseline is insensitive to sparsity.
-    let b_dense = run_kernel(&dense, ConfigKind::Baseline, &machine, 3, false).seconds;
-    let b_sparse = run_kernel(&nbs, ConfigKind::Baseline, &machine, 3, false).seconds;
+    let b_dense = run_kernel(&dense, ConfigKind::Baseline, &machine, 3, false).unwrap().seconds;
+    let b_sparse = run_kernel(&nbs, ConfigKind::Baseline, &machine, 3, false).unwrap().seconds;
     assert!((b_dense / b_sparse - 1.0).abs() < 0.05, "baseline must not exploit sparsity");
 }
 
@@ -67,7 +67,7 @@ fn landmark_speedup_monotone_in_nbs() {
     let mut last = f64::INFINITY;
     for nbs in [0.0, 0.3, 0.6, 0.9] {
         let w = w0.clone().with_sparsity(0.0, nbs);
-        let t = run_kernel(&w, ConfigKind::Save2Vpu, &machine, 7, false).seconds;
+        let t = run_kernel(&w, ConfigKind::Save2Vpu, &machine, 7, false).unwrap().seconds;
         assert!(t <= last * 1.03, "time must not grow with sparsity (nbs={nbs})");
         last = t;
     }
@@ -78,14 +78,15 @@ fn hc_pays_latency_vc_preserves_lane_order() {
     // Horizontal compression must carry its +6-cycle crossbar penalty.
     let machine = MachineConfig::default();
     let w = small_workload("ResNet3_2", Phase::Forward, Precision::F32); // dense
-    let vc = run_kernel_custom(&w, &CoreConfig::save_2vpu(), &machine, 9, true);
+    let vc = run_kernel_custom(&w, &CoreConfig::save_2vpu(), &machine, 9, true).unwrap();
     let hc = run_kernel_custom(
         &w,
         &CoreConfig { scheduler: SchedulerKind::Horizontal, ..CoreConfig::save_2vpu() },
         &machine,
         9,
         true,
-    );
+    )
+    .unwrap();
     assert!(vc.verified && hc.verified);
     assert!(hc.cycles >= vc.cycles, "dense HC must not beat VC (no imbalance to fix)");
 }
@@ -104,7 +105,7 @@ fn estimator_reproduces_fig14_ordering_on_truncated_nets() {
         let mut net = Network::build(kind);
         net.layers = net.layers.into_iter().skip(2).take(3).collect();
         net.epochs = 4;
-        let inf = est.estimate_inference(&net, Precision::F32);
+        let inf = est.estimate_inference(&net, Precision::F32).unwrap();
         let sp = inf.baseline.total() / inf.dynamic.total();
         assert!(sp > 1.0, "{kind:?} must speed up, got {sp}");
         speedups.insert(kind, sp);
@@ -124,7 +125,7 @@ fn mixed_precision_training_estimate_is_finite_and_ordered() {
     let mut net = Network::build(NetKind::GnmtPruned);
     net.layers.truncate(1);
     net.epochs = 6;
-    let tr = est.estimate_training(&net, Precision::Mixed);
+    let tr = est.estimate_training(&net, Precision::Mixed).unwrap();
     for t in [tr.baseline, tr.save2, tr.save1, tr.static_, tr.dynamic] {
         assert!(t.total().is_finite() && t.total() > 0.0);
     }

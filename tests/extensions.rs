@@ -28,8 +28,8 @@ fn software_bs_skip_helps_on_clustered_sparsity_only() {
         ..GemmWorkload::dense("st", explicit_spec(), 48, 2).with_sparsity(0.6, 0.0)
     };
     let skipping = GemmWorkload { software_bs_skip: true, ..clustered.clone() };
-    let r_plain = run_kernel(&clustered, ConfigKind::Baseline, &machine, 3, true);
-    let r_skip = run_kernel(&skipping, ConfigKind::Baseline, &machine, 3, true);
+    let r_plain = run_kernel(&clustered, ConfigKind::Baseline, &machine, 3, true).unwrap();
+    let r_skip = run_kernel(&skipping, ConfigKind::Baseline, &machine, 3, true).unwrap();
     assert!(r_plain.completed && r_skip.completed);
     assert!(
         r_skip.cycles < r_plain.cycles,
@@ -43,15 +43,15 @@ fn software_bs_skip_helps_on_clustered_sparsity_only() {
     // skipping finds nothing to skip; SAVE still wins outright.
     let uniform = GemmWorkload::dense("st", explicit_spec(), 48, 2).with_sparsity(0.6, 0.0);
     let uskip = GemmWorkload { software_bs_skip: true, ..uniform.clone() };
-    let r_uplain = run_kernel(&uniform, ConfigKind::Baseline, &machine, 3, true);
-    let r_uskip = run_kernel(&uskip, ConfigKind::Baseline, &machine, 3, true);
+    let r_uplain = run_kernel(&uniform, ConfigKind::Baseline, &machine, 3, true).unwrap();
+    let r_uskip = run_kernel(&uskip, ConfigKind::Baseline, &machine, 3, true).unwrap();
     assert!(
         r_uskip.cycles as f64 >= r_uplain.cycles as f64 * 0.97,
         "uniform-random software skipping must not find meaningful gains: {} vs {}",
         r_uskip.cycles,
         r_uplain.cycles
     );
-    let r_usave = run_kernel(&uniform, ConfigKind::Save2Vpu, &machine, 3, true);
+    let r_usave = run_kernel(&uniform, ConfigKind::Save2Vpu, &machine, 3, true).unwrap();
     assert!(r_usave.cycles < r_uplain.cycles * 9 / 10, "SAVE is structure-insensitive");
 }
 
@@ -62,10 +62,10 @@ fn software_bs_skip_cannot_touch_nbs_but_save_can() {
     let machine = MachineConfig::default();
     let plain = GemmWorkload::dense("st", explicit_spec(), 48, 2).with_sparsity(0.0, 0.7);
     let skipping = GemmWorkload { software_bs_skip: true, ..plain.clone() };
-    let r_plain = run_kernel(&plain, ConfigKind::Baseline, &machine, 5, true);
-    let r_skip = run_kernel(&skipping, ConfigKind::Baseline, &machine, 5, true);
+    let r_plain = run_kernel(&plain, ConfigKind::Baseline, &machine, 5, true).unwrap();
+    let r_skip = run_kernel(&skipping, ConfigKind::Baseline, &machine, 5, true).unwrap();
     assert_eq!(r_skip.stats.fma_uops, r_plain.stats.fma_uops, "nothing to skip");
-    let r_save = run_kernel(&plain, ConfigKind::Save2Vpu, &machine, 5, true);
+    let r_save = run_kernel(&plain, ConfigKind::Save2Vpu, &machine, 5, true).unwrap();
     assert!(r_save.cycles < r_plain.cycles * 9 / 10);
 }
 
@@ -82,8 +82,8 @@ fn software_skipping_composes_with_save_by_freeing_the_front_end() {
         ..GemmWorkload::dense("st", explicit_spec(), 48, 2).with_sparsity(0.6, 0.0)
     };
     let skipping = GemmWorkload { software_bs_skip: true, ..plain.clone() };
-    let r_save = run_kernel(&plain, ConfigKind::Save2Vpu, &machine, 7, true);
-    let r_both = run_kernel(&skipping, ConfigKind::Save2Vpu, &machine, 7, true);
+    let r_save = run_kernel(&plain, ConfigKind::Save2Vpu, &machine, 7, true).unwrap();
+    let r_both = run_kernel(&skipping, ConfigKind::Save2Vpu, &machine, 7, true).unwrap();
     assert!(
         r_both.cycles <= r_save.cycles,
         "SAVE+software must not be slower than SAVE alone: {} vs {}",
@@ -104,7 +104,7 @@ fn streaming_workload(nbs: f64, compressed: bool) -> GemmWorkload {
 fn compressed_loads_are_functionally_exact() {
     let machine = MachineConfig::default();
     for nbs in [0.0, 0.5, 0.9] {
-        let r = run_kernel(&streaming_workload(nbs, true), ConfigKind::Save2Vpu, &machine, 9, true);
+        let r = run_kernel(&streaming_workload(nbs, true), ConfigKind::Save2Vpu, &machine, 9, true).unwrap();
         assert!(r.completed && r.verified, "nbs={nbs}");
     }
 }
@@ -116,8 +116,8 @@ fn zcomp_lifts_the_bandwidth_cap_proportionally_to_nbs() {
     // SAVE+ZCOMP keeps scaling with NBS.
     let machine = MachineConfig::default();
     let nbs = 0.8;
-    let save_only = run_kernel(&streaming_workload(nbs, false), ConfigKind::Save2Vpu, &machine, 11, false);
-    let with_zcomp = run_kernel(&streaming_workload(nbs, true), ConfigKind::Save2Vpu, &machine, 11, false);
+    let save_only = run_kernel(&streaming_workload(nbs, false), ConfigKind::Save2Vpu, &machine, 11, false).unwrap();
+    let with_zcomp = run_kernel(&streaming_workload(nbs, true), ConfigKind::Save2Vpu, &machine, 11, false).unwrap();
     assert!(
         with_zcomp.cycles * 10 < save_only.cycles * 9,
         "compressed streaming must be >10% faster at 80% NBS: {} vs {}",
@@ -125,8 +125,8 @@ fn zcomp_lifts_the_bandwidth_cap_proportionally_to_nbs() {
         save_only.cycles
     );
     // Dense data: compression buys (almost) nothing.
-    let d_plain = run_kernel(&streaming_workload(0.0, false), ConfigKind::Save2Vpu, &machine, 13, false);
-    let d_comp = run_kernel(&streaming_workload(0.0, true), ConfigKind::Save2Vpu, &machine, 13, false);
+    let d_plain = run_kernel(&streaming_workload(0.0, false), ConfigKind::Save2Vpu, &machine, 13, false).unwrap();
+    let d_comp = run_kernel(&streaming_workload(0.0, true), ConfigKind::Save2Vpu, &machine, 13, false).unwrap();
     let ratio = d_comp.cycles as f64 / d_plain.cycles as f64;
     assert!((0.85..=1.15).contains(&ratio), "dense compression is a wash: {ratio:.2}");
 }
