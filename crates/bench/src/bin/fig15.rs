@@ -14,6 +14,8 @@ use serde::Serialize;
 use std::process::ExitCode;
 
 #[derive(Serialize)]
+// Fields are consumed via `Serialize` in the session JSON dump only.
+#[allow(dead_code)]
 struct Cell {
     bs: f64,
     nbs: f64,

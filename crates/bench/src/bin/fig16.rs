@@ -85,6 +85,8 @@ fn kernel_set() -> Vec<KernelDef> {
 }
 
 #[derive(Serialize)]
+// Fields are consumed via `Serialize` in the session JSON dump only.
+#[allow(dead_code)]
 struct CapRecord {
     name: String,
     is_lstm: bool,

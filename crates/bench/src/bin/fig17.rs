@@ -17,6 +17,8 @@ use serde::Serialize;
 use std::process::ExitCode;
 
 #[derive(Serialize)]
+// Fields are consumed via `Serialize` in the session JSON dump only.
+#[allow(dead_code)]
 struct Point {
     design: String,
     bs: f64,

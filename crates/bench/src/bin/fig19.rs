@@ -15,6 +15,8 @@ use serde::Serialize;
 use std::process::ExitCode;
 
 #[derive(Serialize)]
+// Fields are consumed via `Serialize` in the session JSON dump only.
+#[allow(dead_code)]
 struct Point {
     mp_technique: bool,
     nbs: f64,

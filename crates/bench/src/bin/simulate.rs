@@ -6,21 +6,27 @@
 //! Usage:
 //!   simulate --spec workload.json [--config baseline|save2|save1]
 //!            [--cores N] [--detailed] [--seed S] [--json] [--example]
+//!            [--sanitize off|periodic[:N]|full]
 //!
-//! `--example` prints a template workload JSON and exits.
+//! `--example` prints a template workload JSON and exits. `--sanitize`
+//! enables the cycle-level microarchitectural sanitizer (overriding the
+//! `SAVE_SANITIZE` environment variable); a violation aborts the run with a
+//! typed `invariant-violation` error carrying the sanitizer's witness.
 //!
 //! Every failure path (unreadable spec, malformed JSON, bad flag value,
 //! rejected config, stalled or mismatching run) surfaces as a typed
 //! [`SimError`] through `main`'s `Result`, which the runtime renders as a
 //! readable message with a non-zero exit code.
 
-use save_sim::runner::run_kernel;
+use save_core::SanitizeLevel;
+use save_sim::runner::{run_kernel, run_kernel_custom};
 use save_sim::{ConfigKind, MachineConfig, MachineMode, SimError};
 
 fn usage() -> ! {
     eprintln!(
         "usage: simulate --spec <workload.json> [--config baseline|save2|save1]\n\
          \x20               [--cores N] [--detailed] [--seed S] [--json]\n\
+         \x20               [--sanitize off|periodic[:N]|full]\n\
          \x20      simulate --example   # print a template workload"
     );
     std::process::exit(2)
@@ -84,7 +90,16 @@ fn main() -> Result<(), SimError> {
         None => 1,
     };
 
-    let result = run_kernel(&workload, kind, &machine, seed, true)?;
+    let result = match get("--sanitize") {
+        Some(level) => {
+            let sanitize = SanitizeLevel::parse(&level).map_err(|e| SimError::InvalidConfig {
+                what: format!("--sanitize: {e}"),
+            })?;
+            let cfg = save_core::CoreConfig { sanitize, ..kind.core_config() };
+            run_kernel_custom(&workload, &cfg, &machine, seed, true)?
+        }
+        None => run_kernel(&workload, kind, &machine, seed, true)?,
+    };
     if args.iter().any(|a| a == "--json") {
         let s = serde_json::to_string_pretty(&result)
             .map_err(|e| SimError::Io { what: format!("serialize result: {e}") })?;

@@ -1,6 +1,84 @@
 //! Core configuration (Table I parameters plus SAVE feature toggles).
 
+use crate::fault::FaultPlan;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// How aggressively the microarchitectural sanitizer audits the pipeline.
+///
+/// Event-driven checks (issue conservation, writeback values, commit order)
+/// are cheap and run on every cycle whenever the sanitizer is enabled at
+/// all; the heavier whole-state scans (rename-pool partition, RS scoreboard
+/// cross-check, broadcast-cache freshness audit) run only on cycles where
+/// [`SanitizeLevel::due`] returns true. `Off` compiles down to a skipped
+/// `Option` — zero cost on the hot path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum SanitizeLevel {
+    /// No checking at all (the default): the core carries no sanitizer.
+    #[default]
+    Off,
+    /// Event hooks every cycle, state scans every `n` cycles (`n > 0`).
+    Periodic(u64),
+    /// Every check, every cycle.
+    Full,
+}
+
+impl SanitizeLevel {
+    /// State-scan stride used when `SAVE_SANITIZE=periodic` gives no `:N`.
+    pub const DEFAULT_STRIDE: u64 = 64;
+
+    /// True unless the level is [`SanitizeLevel::Off`].
+    pub fn enabled(self) -> bool {
+        self != SanitizeLevel::Off
+    }
+
+    /// Whether the heavy state scans should run on `cycle`.
+    pub fn due(self, cycle: u64) -> bool {
+        match self {
+            SanitizeLevel::Off => false,
+            SanitizeLevel::Full => true,
+            SanitizeLevel::Periodic(n) => cycle.is_multiple_of(n),
+        }
+    }
+
+    /// Parses a level from a CLI/env string: `off`, `full`, `periodic`,
+    /// `periodic:N`, or a bare stride `N` (`0` meaning off).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        match s.to_ascii_lowercase().as_str() {
+            "" | "off" | "0" | "false" | "no" => Ok(SanitizeLevel::Off),
+            "full" | "on" | "1" | "true" | "yes" => Ok(SanitizeLevel::Full),
+            "periodic" => Ok(SanitizeLevel::Periodic(Self::DEFAULT_STRIDE)),
+            other => {
+                let stride = other.strip_prefix("periodic:").unwrap_or(other);
+                match stride.parse::<u64>() {
+                    Ok(0) => Ok(SanitizeLevel::Off),
+                    Ok(n) => Ok(SanitizeLevel::Periodic(n)),
+                    Err(_) => Err(format!(
+                        "unrecognized sanitize level {s:?} (want off|periodic[:N]|full)"
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Level requested by the `SAVE_SANITIZE` environment variable, read
+    /// once per process. Unset or unparsable values mean [`Off`]; this is
+    /// the default for every freshly built [`CoreConfig`], which is how
+    /// `SAVE_SANITIZE=periodic cargo test` turns the whole suite into a
+    /// sanitizer gauntlet without touching any call site.
+    ///
+    /// [`Off`]: SanitizeLevel::Off
+    pub fn from_env() -> Self {
+        static CACHE: OnceLock<SanitizeLevel> = OnceLock::new();
+        *CACHE.get_or_init(|| {
+            std::env::var("SAVE_SANITIZE")
+                .ok()
+                .and_then(|v| SanitizeLevel::parse(&v).ok())
+                .unwrap_or(SanitizeLevel::Off)
+        })
+    }
+}
 
 /// Which VPU select logic the core uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -71,6 +149,15 @@ pub struct CoreConfig {
     /// access is a few hundred cycles); the default leaves two orders of
     /// magnitude of headroom.
     pub watchdog_cycles: u64,
+    /// Microarchitectural sanitizer level. Defaults to the `SAVE_SANITIZE`
+    /// environment variable (or `Off` when unset) so existing configs and
+    /// serialized sweeps pick it up without changes.
+    #[serde(default = "SanitizeLevel::from_env")]
+    pub sanitize: SanitizeLevel,
+    /// Deterministic fault to inject — used by the sanitizer self-test to
+    /// prove each checker fires on its fault class. `None` in any real run.
+    #[serde(default)]
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for CoreConfig {
@@ -96,6 +183,8 @@ impl Default for CoreConfig {
             hc_penalty_cycles: 6,
             max_cycles: 500_000_000,
             watchdog_cycles: 100_000,
+            sanitize: SanitizeLevel::from_env(),
+            fault: None,
         }
     }
 }
@@ -178,6 +267,11 @@ impl CoreConfig {
         if self.watchdog_cycles == 0 {
             return Err("core config: watchdog_cycles must be > 0".to_string());
         }
+        if self.sanitize == SanitizeLevel::Periodic(0) {
+            return Err(
+                "core config: sanitize Periodic stride must be > 0 (use Off instead)".to_string(),
+            );
+        }
         Ok(())
     }
 }
@@ -222,6 +316,35 @@ mod tests {
         let no_issue = CoreConfig { issue_width: 0, ..CoreConfig::default() };
         let err = no_issue.validate().unwrap_err();
         assert!(err.contains("issue_width"), "{err}");
+    }
+
+    #[test]
+    fn sanitize_level_parses_cli_spellings() {
+        assert_eq!(SanitizeLevel::parse("off").unwrap(), SanitizeLevel::Off);
+        assert_eq!(SanitizeLevel::parse("full").unwrap(), SanitizeLevel::Full);
+        assert_eq!(
+            SanitizeLevel::parse("periodic").unwrap(),
+            SanitizeLevel::Periodic(SanitizeLevel::DEFAULT_STRIDE)
+        );
+        assert_eq!(SanitizeLevel::parse("periodic:7").unwrap(), SanitizeLevel::Periodic(7));
+        assert_eq!(SanitizeLevel::parse("128").unwrap(), SanitizeLevel::Periodic(128));
+        assert_eq!(SanitizeLevel::parse("0").unwrap(), SanitizeLevel::Off);
+        assert!(SanitizeLevel::parse("sometimes").is_err());
+    }
+
+    #[test]
+    fn sanitize_stride_gates_state_scans() {
+        assert!(!SanitizeLevel::Off.due(0));
+        assert!(SanitizeLevel::Full.due(3));
+        let p = SanitizeLevel::Periodic(8);
+        assert!(p.due(0) && p.due(16) && !p.due(3));
+        assert!(p.enabled() && !SanitizeLevel::Off.enabled());
+    }
+
+    #[test]
+    fn validate_rejects_zero_periodic_stride() {
+        let c = CoreConfig { sanitize: SanitizeLevel::Periodic(0), ..CoreConfig::default() };
+        assert!(c.validate().unwrap_err().contains("sanitize"));
     }
 
     #[test]

@@ -9,8 +9,10 @@
 
 use crate::config::{CoreConfig, SchedulerKind};
 use crate::diag::{StallCause, StallDiag};
+use crate::fault::{self, FaultKind, FaultPlan};
 use crate::lsu::Lsu;
 use crate::mgu;
+use crate::sanitizer::{Sanitizer, SanitizerReport};
 use crate::rename::{PhysRegFile, RenameTable, ALL_LANES};
 use crate::rob::{Rob, RobKind};
 use crate::rs::{FmaEntry, Rs, RsEntry, NO_FWD};
@@ -34,6 +36,9 @@ pub struct RunOutcome {
     /// Pipeline snapshot explaining *why* the run stopped early; `None`
     /// when `completed` is `true`.
     pub stall: Option<StallDiag>,
+    /// Set when the sanitizer (or an internal integrity check) detected an
+    /// invariant violation — the run is aborted with `completed == false`.
+    pub violation: Option<Box<SanitizerReport>>,
 }
 
 impl RunOutcome {
@@ -76,6 +81,9 @@ pub struct Core {
     last_alloc_rob: RobId,
     alloc_stalled_until: u64,
     last_commit_cycle: u64,
+    san: Option<Box<Sanitizer>>,
+    fault_pending: Option<FaultPlan>,
+    model_fault: Option<SanitizerReport>,
 }
 
 impl Core {
@@ -104,7 +112,30 @@ impl Core {
             last_alloc_rob: 0,
             alloc_stalled_until: 0,
             last_commit_cycle: 0,
+            san: if cfg.sanitize.enabled() {
+                Some(Box::new(Sanitizer::new(cfg.sanitize)))
+            } else {
+                None
+            },
+            // A fault plan without an attached sanitizer would corrupt
+            // results with nothing watching; injection is for self-test
+            // only, so it requires checking to be enabled.
+            fault_pending: if cfg.sanitize.enabled() { cfg.fault } else { None },
+            model_fault: None,
             cfg,
+        }
+    }
+
+    /// Records an internal model inconsistency (previously a panic on the
+    /// run path) as a typed violation; the current step ends the run.
+    fn integrity(&mut self, rob: Option<RobId>, witness: String) {
+        if self.model_fault.is_none() {
+            self.model_fault = Some(SanitizerReport {
+                invariant: "model-integrity".to_string(),
+                cycle: self.cycle,
+                rob: rob.map(|r| r as u64),
+                witness,
+            });
         }
     }
 
@@ -197,7 +228,12 @@ impl Core {
         uncore: &mut Uncore,
     ) -> Option<RunOutcome> {
         if self.finished {
-            return Some(RunOutcome { stats: self.stats, completed: true, stall: None });
+            return Some(RunOutcome {
+                stats: self.stats,
+                completed: true,
+                stall: None,
+                violation: None,
+            });
         }
         let insts = &program.insts;
         let mut inst_idx = self.inst_idx;
@@ -232,10 +268,21 @@ impl Core {
                         break;
                     }
                 }
-                let e = self.rob.pop_head().unwrap();
+                let Some(e) = self.rob.pop_head() else {
+                    self.integrity(
+                        None,
+                        "commit saw a completed ROB head but the queue was empty".to_string(),
+                    );
+                    break;
+                };
                 if self.tracer.is_some() {
                     let seq = e.seq as RobId;
                     self.trace(TraceEvent::Commit { cycle, rob: seq });
+                }
+                // Sanitizer commit checks run before the frees are released
+                // so both accumulator registers still hold their values.
+                if let Some(s) = self.san.as_mut() {
+                    s.on_commit(&e, &self.prf, cycle);
                 }
                 if let Some((vreg, phys)) = e.arch_dst {
                     self.arch_vregs[vreg.index()] = *self.prf.value(phys);
@@ -265,7 +312,12 @@ impl Core {
                 &mut self.stats,
             );
             for r in stores_done {
-                self.rob.mark_done(r);
+                if !self.rob.mark_done(r) {
+                    self.integrity(
+                        Some(r),
+                        format!("store completion targeted rob {r}, which is not in flight"),
+                    );
+                }
             }
             // Sample the combination window: VFMAs with at least one
             // schedulable lane this cycle — §III observes 24-28, bounded by
@@ -286,7 +338,47 @@ impl Core {
                     self.stats.cw_samples += 1;
                 }
             }
-            let ops = sched::select(&mut self.rs, &self.prf, &self.cfg, cycle, &mut self.stats);
+            // Sanitizer: snapshot the vertical-coalescing candidate set for
+            // the Algorithm 1 age-order check on cycles where vertical
+            // select will run (heavier, so gated on the sanitize stride).
+            if let Some(s) = self.san.as_mut() {
+                let vertical_selects = self.cfg.scheduler == SchedulerKind::Vertical
+                    && !(self.cfg.mp_compress
+                        && sched::oldest_window_precision(&self.rs, &self.prf)
+                            == Some(FmaPrecision::Bf16));
+                if vertical_selects && s.due(cycle) {
+                    s.snapshot_vc(&self.rs, &self.prf, self.cfg.lane_wise);
+                } else {
+                    s.clear_snapshot();
+                }
+            }
+            // An issue-path fault needs each candidate's rotation state to
+            // mis-rotate a writeback lane; gather before select consumes
+            // the entries' masks.
+            let issue_fault = self
+                .fault_pending
+                .filter(|p| p.kind.targets_issue_path() && cycle >= p.at_cycle);
+            let rots: Vec<(RobId, i8)> = if issue_fault.is_some() {
+                self.rs
+                    .iter()
+                    .filter_map(|e| match e {
+                        RsEntry::Fma(f) => Some((f.rob, f.rot)),
+                        _ => None,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let mut ops =
+                sched::select(&mut self.rs, &self.prf, &self.cfg, cycle, &mut self.stats);
+            if let Some(plan) = issue_fault {
+                if fault::apply_issue_fault(plan, &mut ops, &rots) {
+                    self.fault_pending = None;
+                }
+            }
+            if let Some(s) = self.san.as_mut() {
+                s.check_issue(&ops, &self.prf, cycle);
+            }
             if !ops.is_empty() {
                 self.stats.vpu_busy_cycles += 1;
                 for op in ops {
@@ -336,18 +428,17 @@ impl Core {
             }
             // Sweep fully scheduled VFMAs out of the RS (Algorithm 1 lines
             // 12-14, including whole-VFMA BS skips).
-            self.rs.retain(|e| match e {
-                RsEntry::Fma(f) => !(f.elm_ready && f.elm == 0 && f.ml == 0),
-                _ => true,
-            });
+            self.sweep_rs(cycle);
 
             // 4. Mask generation (SAVE only).
             if self.cfg.scheduler != SchedulerKind::Baseline {
                 self.run_mgus(cycle);
-                self.rs.retain(|e| match e {
-                    RsEntry::Fma(f) => !(f.elm_ready && f.elm == 0 && f.ml == 0),
-                    _ => true,
-                });
+                // Capture fresh ELMs before the sweep removes BS skips, so
+                // the sanitizer's expectation is the ground-truth mask.
+                if let Some(s) = self.san.as_mut() {
+                    s.sync_elms(&self.rs);
+                }
+                self.sweep_rs(cycle);
             }
 
             // 5. Allocate / rename.
@@ -382,27 +473,209 @@ impl Core {
                 }
             }
 
+            // 6. Fault injection (state faults) and sanitizer state scans.
+            // State faults land after allocation and before the end-of-step
+            // scan so a freed-but-live register is caught this cycle under
+            // Full, before a later allocation could re-grab it and mask the
+            // inconsistency.
+            if let Some(plan) = self.fault_pending {
+                if !plan.kind.targets_issue_path()
+                    && cycle >= plan.at_cycle
+                    && self.apply_state_fault(plan, cmem)
+                {
+                    self.fault_pending = None;
+                }
+            }
+            if let Some(s) = self.san.as_mut() {
+                if s.due(cycle) {
+                    s.check_state(
+                        &self.prf,
+                        &self.rt,
+                        &self.rob,
+                        &self.rs,
+                        self.pending_temp,
+                        cycle,
+                    );
+                    // B$ freshness: audit one entry per scan, round-robin.
+                    if let Some(n) = cmem.bcast_entries() {
+                        if n > 0 {
+                            let idx = s.next_bcast_idx(n);
+                            let stale = cmem.audit_bcast_entry(idx, |line| {
+                                crate::lsu::line_zero_mask(mem, line * save_mem::LINE_BYTES)
+                            });
+                            if let Some((line, stored, actual)) = stale {
+                                s.report_bcast_stale(cycle, line, stored, actual);
+                            }
+                        }
+                    }
+                }
+            }
         }
         self.inst_idx = inst_idx;
         self.cycle = cycle + 1;
         self.stats.cycles = self.cycle;
+        let violation = match self.san.as_mut() {
+            Some(s) => self.model_fault.take().or_else(|| s.take_violation()),
+            None => self.model_fault.take(),
+        };
+        if let Some(v) = violation {
+            self.finished = true;
+            return Some(RunOutcome {
+                stats: self.stats,
+                completed: false,
+                stall: None,
+                violation: Some(Box::new(v)),
+            });
+        }
         if self.pend.is_empty() && inst_idx == insts.len() && self.rob.is_empty() {
             self.finished = true;
-            return Some(RunOutcome { stats: self.stats, completed: true, stall: None });
+            return Some(RunOutcome {
+                stats: self.stats,
+                completed: true,
+                stall: None,
+                violation: None,
+            });
         }
         if self.cycle >= self.cfg.max_cycles {
             self.finished = true;
             let stall = Some(self.stall_diag(StallCause::CycleBudget));
-            return Some(RunOutcome { stats: self.stats, completed: false, stall });
+            return Some(RunOutcome { stats: self.stats, completed: false, stall, violation: None });
         }
         // Retire-progress watchdog: work is outstanding (the drained case
         // returned above) yet nothing has committed for a long time.
         if self.cycle - self.last_commit_cycle >= self.cfg.watchdog_cycles {
             self.finished = true;
             let stall = Some(self.stall_diag(StallCause::NoCommitProgress));
-            return Some(RunOutcome { stats: self.stats, completed: false, stall });
+            return Some(RunOutcome { stats: self.stats, completed: false, stall, violation: None });
         }
         None
+    }
+
+    /// Applies a planned state fault, returning `true` when an eligible
+    /// target existed (the fault is then spent; otherwise retried next
+    /// cycle). Each arm models one specific way real scheduler/rename/ROB
+    /// logic goes wrong — see [`FaultKind`].
+    fn apply_state_fault(&mut self, plan: FaultPlan, cmem: &mut CoreMemory) -> bool {
+        match plan.kind {
+            FaultKind::FlipElmBit => {
+                let bit = 1u16 << (plan.seed % LANES as u64);
+                for e in self.rs.iter_mut() {
+                    if let RsEntry::Fma(f) = e {
+                        if f.elm_ready && f.precision == FmaPrecision::F32 {
+                            f.elm ^= bit;
+                            f.orig_elm ^= bit;
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            FaultKind::DropWakeup => {
+                let lane = (plan.seed % LANES as u64) as usize;
+                let target = self.rs.iter().find_map(|e| match e {
+                    RsEntry::Fma(f) if f.elm_ready => Some(f.a),
+                    _ => None,
+                });
+                match target {
+                    Some(a) => {
+                        self.prf.corrupt_clear_lane(a, lane);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            FaultKind::CorruptBcastEntry => cmem.corrupt_bcast_entry(),
+            FaultKind::FreeLivePhys => {
+                let v = save_isa::VReg((plan.seed % NUM_VREGS as u64) as u8);
+                let p = self.rt.lookup(v);
+                self.prf.force_release(p);
+                true
+            }
+            FaultKind::LeakPhysReg => self.prf.leak_free_reg().is_some(),
+            FaultKind::SkipRobRetire => {
+                let done = match self.rob.head() {
+                    Some(h) => match h.kind {
+                        RobKind::Flagged => h.done,
+                        RobKind::WaitDst(p) => self.prf.fully_ready(p),
+                    },
+                    None => false,
+                };
+                if !done {
+                    return false;
+                }
+                // Drop the completed head without committing it: releases
+                // its frees (as a real commit would) but skips the sequence.
+                if let Some(e) = self.rob.pop_head() {
+                    for f in e.frees.into_iter().flatten() {
+                        self.prf.release(f);
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::CorruptPassthrough => {
+                // A signalling-NaN payload no real computation produces, so
+                // the bit-exact pass-through compare always trips.
+                let poison = f32::from_bits(0x7FC0_DEAD);
+                if let Some(w) = self.watchers.iter_mut().find(|w| w.remaining != 0) {
+                    let lane = w.remaining.trailing_zeros() as usize;
+                    self.prf.write_lane(w.dst, lane, poison);
+                    w.remaining &= !(1 << lane);
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::ReorderRsPick => {
+                let ready: Vec<usize> = self
+                    .rs
+                    .entries()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, e)| match e {
+                        RsEntry::Fma(f)
+                            if sched::sched_mask(f, &self.prf, self.cfg.lane_wise) != 0 =>
+                        {
+                            Some(i)
+                        }
+                        _ => None,
+                    })
+                    .take(2)
+                    .collect();
+                if let [first, second] = ready[..] {
+                    self.rs.entries_mut().swap(first, second);
+                    true
+                } else {
+                    false
+                }
+            }
+            // Issue-path faults are applied by `fault::apply_issue_fault`.
+            FaultKind::DuplicateLaneResult | FaultKind::RotateWritebackLane => false,
+        }
+    }
+
+    /// Removes fully scheduled VFMAs from the RS (Algorithm 1 lines 12-14,
+    /// including whole-VFMA BS skips), notifying the sanitizer so it can
+    /// verify each departing VFMA scheduled exactly its ELM.
+    fn sweep_rs(&mut self, cycle: u64) {
+        let mut exited: Vec<RobId> = Vec::new();
+        let track = self.san.is_some();
+        self.rs.retain(|e| match e {
+            RsEntry::Fma(f) => {
+                let done = f.elm_ready && f.elm == 0 && f.ml == 0;
+                if done && track {
+                    exited.push(f.rob);
+                }
+                !done
+            }
+            _ => true,
+        });
+        if let Some(s) = self.san.as_mut() {
+            for r in exited {
+                s.on_rs_exit(r, cycle);
+            }
+        }
     }
 
     /// Captures the pipeline state for a stall report.
@@ -595,13 +868,30 @@ impl Core {
                 }
                 let a_phys = self.rt.lookup(a);
                 let (b_phys, temp_free) = if b_is_temp {
-                    let t = self.pending_temp.take().expect("cracked temp must precede its FMA");
+                    let Some(t) = self.pending_temp.take() else {
+                        self.integrity(
+                            None,
+                            "FMA expects a cracked temp but no preceding load produced one"
+                                .to_string(),
+                        );
+                        return false;
+                    };
                     (t, Some(t))
                 } else {
-                    (self.rt.lookup(b.expect("register FMA needs b")), None)
+                    let Some(b_reg) = b else {
+                        self.integrity(
+                            None,
+                            "register-operand FMA cracked without a B register".to_string(),
+                        );
+                        return false;
+                    };
+                    (self.rt.lookup(b_reg), None)
                 };
                 let acc_src = self.rt.lookup(acc);
-                let acc_dst = self.prf.alloc().expect("checked free_count above");
+                let Some(acc_dst) = self.prf.alloc() else {
+                    self.stats.alloc_stall_phys += 1;
+                    return false;
+                };
                 let prev = self.rt.remap(acc, acc_dst);
                 debug_assert_eq!(prev, acc_src);
                 let chain_pred = self.fma_producer[acc.index()]
@@ -627,7 +917,7 @@ impl Core {
                 self.fma_producer[acc.index()] = Some(rob);
                 self.stats.fma_uops += 1;
                 self.stats.lanes_total += LANES as u64;
-                self.rs.push(RsEntry::Fma(FmaEntry {
+                let entry = FmaEntry {
                     rob,
                     precision,
                     acc_log: acc,
@@ -646,7 +936,11 @@ impl Core {
                     chain_succ: None,
                     fwd_base: [0.0; LANES],
                     fwd_ready: [NO_FWD; LANES],
-                }));
+                };
+                if let Some(s) = self.san.as_mut() {
+                    s.on_fma_alloc(&entry, self.cfg.scheduler == SchedulerKind::Baseline);
+                }
+                self.rs.push(RsEntry::Fma(entry));
             }
         }
         true

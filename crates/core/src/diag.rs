@@ -134,6 +134,44 @@ mod tests {
     }
 
     #[test]
+    fn implicates_rs_when_stations_full() {
+        let d = StallDiag { loads_in_flight: 0, rs_occupancy: 97, ..diag() };
+        assert_eq!(d.stalled_resource(), "rs");
+    }
+
+    #[test]
+    fn implicates_rob_when_reorder_buffer_full() {
+        let d = StallDiag { loads_in_flight: 0, rs_occupancy: 0, rob_occupancy: 224, ..diag() };
+        assert_eq!(d.stalled_resource(), "rob");
+    }
+
+    #[test]
+    fn implicates_vpu_when_work_waits_with_room_everywhere() {
+        let d = StallDiag { loads_in_flight: 0, ..diag() };
+        assert_eq!(d.stalled_resource(), "vpu");
+    }
+
+    #[test]
+    fn implicates_front_end_when_rob_holds_unfinished_work_but_rs_is_empty() {
+        let d = StallDiag { loads_in_flight: 0, rs_occupancy: 0, ..diag() };
+        assert_eq!(d.stalled_resource(), "front-end");
+    }
+
+    #[test]
+    fn reports_drained_when_nothing_is_in_flight() {
+        let d = StallDiag { rob_occupancy: 0, ..diag() };
+        assert_eq!(d.stalled_resource(), "drained");
+    }
+
+    #[test]
+    fn resource_priority_memory_over_capacity() {
+        // A full ROB *and* outstanding loads implicates memory: capacity
+        // pressure is the symptom, the un-returning load is the cause.
+        let d = StallDiag { rob_occupancy: 224, rs_occupancy: 97, phys_free: 0, ..diag() };
+        assert_eq!(d.stalled_resource(), "memory");
+    }
+
+    #[test]
     fn display_names_the_suspect() {
         let s = diag().to_string();
         assert!(s.contains("suspect memory"), "{s}");

@@ -30,11 +30,13 @@
 pub mod config;
 pub mod core;
 pub mod diag;
+pub mod fault;
 pub mod lsu;
 pub mod mgu;
 pub mod rename;
 pub mod rob;
 pub mod rs;
+pub mod sanitizer;
 pub mod sched;
 pub mod stats;
 pub mod trace;
@@ -42,7 +44,9 @@ pub mod uop;
 pub mod vpu;
 
 pub use crate::core::{Core, RunOutcome};
-pub use config::{CoreConfig, SchedulerKind};
+pub use config::{CoreConfig, SanitizeLevel, SchedulerKind};
 pub use diag::{StallCause, StallDiag};
+pub use fault::{FaultKind, FaultPlan};
+pub use sanitizer::{Sanitizer, SanitizerReport};
 pub use stats::CoreStats;
 pub use trace::{CountingTracer, TextTracer, TraceEvent, Tracer};

@@ -15,6 +15,22 @@ use crate::uop::{LoadKind, PhysId, RobId};
 use save_isa::{Memory, VecF32, F32_PER_LINE};
 use save_mem::{BcastAccess, CoreMemory, LoadClass, Uncore};
 
+/// Zero mask of the 16 f32 elements of the cache line starting at
+/// `line_base`, read from functional memory. Elements beyond the allocated
+/// arena are treated as non-zero (mask bit clear) instead of faulting — the
+/// B$ fill and the sanitizer's freshness audit must agree on this
+/// convention for lines that straddle the arena end.
+pub(crate) fn line_zero_mask(mem: &Memory, line_base: u64) -> u16 {
+    let mut mask = 0u16;
+    for i in 0..F32_PER_LINE {
+        let addr = line_base + 4 * i as u64;
+        if addr + 4 <= mem.size() as u64 && mem.read_f32(addr) == 0.0 {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
 /// A load whose value is on its way to the register file.
 #[derive(Clone, Copy, Debug)]
 pub struct LoadEvent {
@@ -192,12 +208,7 @@ impl Lsu {
                         LoadKind::Broadcast => {
                             let value = mem.read_bcast_f32(value_addr);
                             let line_base = value_addr & !(save_mem::LINE_BYTES - 1);
-                            let mut mask = 0u16;
-                            for i in 0..F32_PER_LINE {
-                                if mem.read_f32(line_base + 4 * i as u64) == 0.0 {
-                                    mask |= 1 << i;
-                                }
-                            }
+                            let mask = line_zero_mask(mem, line_base);
                             stats.bcast_loads += 1;
                             (
                                 value,

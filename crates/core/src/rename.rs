@@ -86,6 +86,35 @@ impl PhysRegFile {
     pub fn lane_ready(&self, id: PhysId, lane: usize) -> bool {
         self.lane_ready[id as usize] >> lane & 1 == 1
     }
+
+    /// Total registers in the file (free + live).
+    pub fn num_regs(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The current free list (sanitizer partition check).
+    pub fn free_list(&self) -> &[PhysId] {
+        &self.free
+    }
+
+    /// Fault-injection hook: returns `id` to the free list *without* the
+    /// double-free debug assertion, modelling broken release logic. Only the
+    /// sanitizer self-test should call this.
+    pub fn force_release(&mut self, id: PhysId) {
+        self.free.push(id);
+    }
+
+    /// Fault-injection hook: silently drops one register from the free
+    /// list, modelling a leak. Returns the leaked id, if any.
+    pub fn leak_free_reg(&mut self) -> Option<PhysId> {
+        self.free.pop()
+    }
+
+    /// Fault-injection hook: clears one lane-ready bit without touching the
+    /// value, modelling a dropped wakeup.
+    pub fn corrupt_clear_lane(&mut self, id: PhysId, lane: usize) {
+        self.lane_ready[id as usize] &= !(1 << lane);
+    }
 }
 
 /// Architectural-to-physical mapping plus the write-mask register values
@@ -129,6 +158,12 @@ impl RenameTable {
     /// Sets write-mask register `k` (executed at rename).
     pub fn set_kval(&mut self, k: save_isa::KReg, v: u16) {
         self.kvals[k.index()] = v;
+    }
+
+    /// All current architectural-to-physical mappings (sanitizer partition
+    /// check).
+    pub fn mappings(&self) -> &[PhysId; NUM_VREGS] {
+        &self.vmap
     }
 }
 

@@ -107,13 +107,17 @@ impl Rob {
         seq as RobId
     }
 
-    /// Marks a flagged entry done.
-    ///
-    /// # Panics
-    /// Panics if `id` is not in flight.
-    pub fn mark_done(&mut self, id: RobId) {
-        let e = self.get_mut(id).expect("marking a retired/unknown ROB entry");
-        e.done = true;
+    /// Marks a flagged entry done. Returns `false` (instead of panicking)
+    /// when `id` is not in flight — the core treats that as a model
+    /// integrity violation rather than aborting the process.
+    pub fn mark_done(&mut self, id: RobId) -> bool {
+        match self.get_mut(id) {
+            Some(e) => {
+                e.done = true;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Mutable access to an in-flight entry by id.
@@ -131,6 +135,11 @@ impl Rob {
     /// Pops the oldest entry (caller has verified completion).
     pub fn pop_head(&mut self) -> Option<RobEntry> {
         self.entries.pop_front()
+    }
+
+    /// Iterates in-flight entries oldest-first (sanitizer state scans).
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
     }
 }
 

@@ -75,7 +75,7 @@ pub fn select(
             }
             // Immutable phase: decide whether this entry can lead a slot.
             let (l, picks, base) = {
-                let f = as_fma(&rs.entries()[idx]).unwrap();
+                let Some(f) = as_fma(&rs.entries()[idx]) else { continue };
                 if !f.in_window(prf) {
                     continue;
                 }
@@ -87,9 +87,10 @@ pub fn select(
                 // Chain order: the predecessor must have drained this AL.
                 if let Some(p) = f.chain_pred {
                     if let Some(&pidx) = rob_to_idx.get(&p) {
-                        let pf = as_fma(&rs.entries()[pidx]).unwrap();
-                        if pf.ml_bits_at(l) != 0 {
-                            continue;
+                        if let Some(pf) = as_fma(&rs.entries()[pidx]) {
+                            if pf.ml_bits_at(l) != 0 {
+                                continue;
+                            }
                         }
                     }
                 }
@@ -115,9 +116,10 @@ pub fn select(
                 // extend with the chain successor's first ML.
                 let mut picks: Vec<Pick> = vec![(idx, bits)];
                 if bits.count_ones() == 1 {
-                    if let Some(s) = f.chain_succ {
-                        if let Some(&sidx) = rob_to_idx.get(&s) {
-                            let sf = as_fma(&rs.entries()[sidx]).unwrap();
+                    if let Some(sidx) =
+                        f.chain_succ.and_then(|s| rob_to_idx.get(&s)).copied()
+                    {
+                        if let Some(sf) = as_fma(&rs.entries()[sidx]) {
                             if sf.in_window(prf) {
                                 let sbits = sf.ml_bits_at(l);
                                 if sbits != 0 {

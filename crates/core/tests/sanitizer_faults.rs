@@ -1,0 +1,264 @@
+//! Sanitizer self-test: every checker must fire on its fault class.
+//!
+//! A sanitizer that has never beeped is untested. This matrix walks every
+//! [`FaultKind`], injects it deterministically into an otherwise healthy
+//! run, and asserts that the aborting [`SanitizerReport`] names exactly the
+//! invariant [`FaultKind::expected_invariant`] says is responsible — i.e.
+//! each checker both *fires* and *attributes* correctly. A companion set of
+//! clean runs across scheduler configurations pins the zero-false-positive
+//! side, and a determinism check pins the sanitizer's observational purity
+//! (identical cycle counts with checking on or off).
+
+use save_core::{Core, CoreConfig, FaultKind, FaultPlan, RunOutcome, SanitizeLevel};
+use save_isa::{Inst, Memory, Program, VOperand, VReg};
+use save_mem::{CoreMemory, MemConfig, Uncore, WarmLevel};
+
+fn run_program(cfg: CoreConfig, program: &Program, mem: &mut Memory) -> RunOutcome {
+    let mcfg = MemConfig::default();
+    let mut uncore = Uncore::new(&mcfg, 1);
+    let mut cmem = CoreMemory::new(0, mcfg, cfg.freq_ghz);
+    cmem.warm(&mut uncore, 0, mem.size() as u64, WarmLevel::L1);
+    let core = Core::new(cfg);
+    core.run(program, mem, &mut cmem, &mut uncore)
+}
+
+/// A workload rich enough that every fault class has a target: four
+/// accumulator chains covering all three RVC rotation states, a dense B
+/// vector with distinct per-lane values (so a mis-rotated writeback always
+/// changes the value), a sparse B vector (so pass-through watchers persist
+/// across cycles), and broadcast loads (so the B$ holds valid entries).
+fn fault_program(mem: &mut Memory, rounds: usize) -> (Program, u64) {
+    let s_addr = mem.alloc(64);
+    let b_dense = mem.alloc(64);
+    let b_sparse_a = mem.alloc(64);
+    let b_sparse_b = mem.alloc(64);
+    let out = mem.alloc(256);
+    mem.write_f32(s_addr, 2.0);
+    mem.write_f32(s_addr + 4, 3.0);
+    for i in 0..16 {
+        mem.write_f32(b_dense + 4 * i, (i + 1) as f32);
+        // Two complementary-ish sparsity patterns. Alternating them down
+        // the acc3 chain puts each VFMA's pass-through lanes on lanes its
+        // predecessor *computed* (ready only at writeback), so pass-through
+        // watchers stay live for several cycles instead of draining the
+        // instant they are created.
+        let va = if i % 3 == 0 { 0.0 } else { (i + 2) as f32 };
+        let vb = if i % 3 == 1 { 0.0 } else { (i + 3) as f32 };
+        mem.write_f32(b_sparse_a + 4 * i, va);
+        mem.write_f32(b_sparse_b + 4 * i, vb);
+    }
+    let mut p = Program::new("sanitizer-fault-matrix");
+    for acc in 0..4 {
+        p.push(Inst::Zero { dst: VReg(acc) });
+    }
+    p.push(Inst::BroadcastLoad { dst: VReg(8), addr: s_addr });
+    p.push(Inst::BroadcastLoad { dst: VReg(9), addr: s_addr + 4 });
+    p.push(Inst::VecLoad { dst: VReg(10), addr: b_dense });
+    p.push(Inst::VecLoad { dst: VReg(11), addr: b_sparse_a });
+    p.push(Inst::VecLoad { dst: VReg(12), addr: b_sparse_b });
+    for r in 0..rounds {
+        // VReg(0)/VReg(3): rotation state 0; VReg(1): +1; VReg(2): -1.
+        let sparse = if r % 2 == 0 { 11u8 } else { 12u8 };
+        for (acc, a, b) in [(0u8, 8u8, 10u8), (1, 9, 10), (2, 8, 10), (3, 9, sparse)] {
+            p.push(Inst::VfmaF32 {
+                acc: VReg(acc),
+                a: VOperand::Reg(VReg(a)),
+                b: VOperand::Reg(VReg(b)),
+                mask: None,
+            });
+        }
+    }
+    for acc in 0..4u64 {
+        p.push(Inst::VecStore { src: VReg(acc as u8), addr: out + 64 * acc });
+    }
+    (p, out)
+}
+
+fn full_save_cfg() -> CoreConfig {
+    CoreConfig { sanitize: SanitizeLevel::Full, ..CoreConfig::save_2vpu() }
+}
+
+/// Per-fault-class configuration: the fault needs its target structure to
+/// exist and to be observable.
+fn cfg_for(kind: FaultKind) -> CoreConfig {
+    let mut cfg = full_save_cfg();
+    cfg.fault = Some(FaultPlan::new(kind, 20, 5));
+    match kind {
+        // Age order needs contention: several ready VFMAs fighting for the
+        // same temp positions, which takes a single VPU.
+        FaultKind::ReorderRsPick => cfg.num_vpus = 1,
+        // Retire skipping needs a completed-but-uncommitted head at the
+        // injection point; a commit width of 1 keeps a standing backlog.
+        FaultKind::SkipRobRetire => cfg.commit_width = 1,
+        _ => {}
+    }
+    cfg
+}
+
+#[test]
+fn every_fault_class_trips_its_own_invariant() {
+    for kind in FaultKind::ALL {
+        let cfg = cfg_for(kind);
+        let mut mem = Memory::new(0);
+        let (p, _) = fault_program(&mut mem, 60);
+        let out = run_program(cfg, &p, &mut mem);
+        let v = out
+            .violation
+            .unwrap_or_else(|| panic!("{kind:?}: injected fault was never detected"));
+        assert_eq!(
+            v.invariant,
+            kind.expected_invariant(),
+            "{kind:?} must be caught by {} but the sanitizer reported: {v}",
+            kind.expected_invariant()
+        );
+        assert!(!out.completed, "{kind:?}: a violated run must not report completion");
+        assert!(v.cycle >= 1, "{kind:?}: report must carry the detection cycle");
+        assert!(!v.witness.is_empty(), "{kind:?}: report must carry a witness");
+    }
+}
+
+#[test]
+fn faults_before_any_eligible_target_retry_until_one_exists() {
+    // at_cycle 0 predates every structure (empty RS, empty B$, no watchers):
+    // the injector must retry, not fizzle, and the checker must still fire.
+    for kind in [FaultKind::FlipElmBit, FaultKind::CorruptBcastEntry, FaultKind::CorruptPassthrough]
+    {
+        let mut cfg = cfg_for(kind);
+        cfg.fault = Some(FaultPlan::new(kind, 0, 5));
+        let mut mem = Memory::new(0);
+        let (p, _) = fault_program(&mut mem, 60);
+        let out = run_program(cfg, &p, &mut mem);
+        let v = out
+            .violation
+            .unwrap_or_else(|| panic!("{kind:?}@0: injected fault was never detected"));
+        assert_eq!(v.invariant, kind.expected_invariant(), "{kind:?}@0 reported: {v}");
+    }
+}
+
+#[test]
+fn clean_runs_stay_clean_under_full_sanitize() {
+    use save_core::SchedulerKind;
+    let variants = [
+        ("baseline", CoreConfig::baseline()),
+        ("save-2vpu", CoreConfig::save_2vpu()),
+        ("save-1vpu", CoreConfig::save_1vpu()),
+        (
+            "vertical-no-rotate",
+            CoreConfig { rotate: false, ..CoreConfig::save_2vpu() },
+        ),
+        (
+            "vertical-vector-wise",
+            CoreConfig { lane_wise: false, ..CoreConfig::save_2vpu() },
+        ),
+        (
+            "horizontal",
+            CoreConfig {
+                scheduler: SchedulerKind::Horizontal,
+                rotate: false,
+                ..CoreConfig::save_2vpu()
+            },
+        ),
+    ];
+    for (name, base) in variants {
+        let cfg = CoreConfig { sanitize: SanitizeLevel::Full, ..base };
+        let mut mem = Memory::new(0);
+        let (p, _) = fault_program(&mut mem, 40);
+        let out = run_program(cfg, &p, &mut mem);
+        assert!(
+            out.violation.is_none(),
+            "{name}: healthy run reported {}",
+            out.violation.unwrap()
+        );
+        assert!(out.completed, "{name}: healthy run must drain");
+    }
+}
+
+#[test]
+fn masked_and_bs_skipped_runs_stay_clean_under_full_sanitize() {
+    // Write masks and whole-VFMA broadcast-sparsity skips exercise the
+    // pass-through path the bs-passthrough checker audits.
+    let mut mem = Memory::new(0);
+    let z_addr = mem.alloc(64);
+    let s_addr = mem.alloc(64);
+    let b_addr = mem.alloc(64);
+    let out = mem.alloc(64);
+    mem.write_f32(z_addr, 0.0);
+    mem.write_f32(s_addr, 4.0);
+    for i in 0..16 {
+        mem.write_f32(b_addr + 4 * i, (i + 1) as f32);
+    }
+    let mut p = Program::new("masked-bs");
+    p.push(Inst::Zero { dst: VReg(0) });
+    p.push(Inst::SetMask { dst: save_isa::KReg(1), value: 0x0F0F });
+    p.push(Inst::BroadcastLoad { dst: VReg(8), addr: z_addr });
+    p.push(Inst::BroadcastLoad { dst: VReg(9), addr: s_addr });
+    p.push(Inst::VecLoad { dst: VReg(10), addr: b_addr });
+    for _ in 0..10 {
+        // A BS-skipped VFMA (broadcast of zero) ...
+        p.push(Inst::VfmaF32 {
+            acc: VReg(0),
+            a: VOperand::Reg(VReg(8)),
+            b: VOperand::Reg(VReg(10)),
+            mask: None,
+        });
+        // ... interleaved with a masked one.
+        p.push(Inst::VfmaF32 {
+            acc: VReg(0),
+            a: VOperand::Reg(VReg(9)),
+            b: VOperand::Reg(VReg(10)),
+            mask: Some(save_isa::KReg(1)),
+        });
+    }
+    p.push(Inst::VecStore { src: VReg(0), addr: out });
+    let cfg = CoreConfig { sanitize: SanitizeLevel::Full, ..CoreConfig::save_2vpu() };
+    let out_run = run_program(cfg, &p, &mut mem);
+    assert!(out_run.violation.is_none(), "reported {}", out_run.violation.unwrap());
+    assert!(out_run.completed);
+}
+
+#[test]
+fn sanitizer_is_observationally_pure() {
+    // Same program, sanitize Off vs Full: identical simulated cycle counts
+    // and identical memory results — the sanitizer observes, never steers.
+    let mut mem_off = Memory::new(0);
+    let (p_off, out_addr) = fault_program(&mut mem_off, 30);
+    let off = run_program(
+        CoreConfig { sanitize: SanitizeLevel::Off, ..CoreConfig::save_2vpu() },
+        &p_off,
+        &mut mem_off,
+    );
+    let mut mem_full = Memory::new(0);
+    let (p_full, _) = fault_program(&mut mem_full, 30);
+    let full = run_program(
+        CoreConfig { sanitize: SanitizeLevel::Full, ..CoreConfig::save_2vpu() },
+        &p_full,
+        &mut mem_full,
+    );
+    assert!(off.completed && full.completed);
+    assert!(full.violation.is_none());
+    assert_eq!(off.stats.cycles, full.stats.cycles, "sanitizer changed the timing model");
+    for i in 0..64u64 {
+        assert_eq!(
+            mem_off.read_f32(out_addr + 4 * i),
+            mem_full.read_f32(out_addr + 4 * i),
+            "sanitizer changed a computed value (word {i})"
+        );
+    }
+}
+
+#[test]
+fn periodic_stride_bounds_state_scan_frequency() {
+    // Periodic(n) still catches a state fault, just within a stride window
+    // rather than the same cycle.
+    let mut cfg = CoreConfig {
+        sanitize: SanitizeLevel::Periodic(16),
+        ..CoreConfig::save_2vpu()
+    };
+    cfg.fault = Some(FaultPlan::new(FaultKind::LeakPhysReg, 20, 5));
+    let mut mem = Memory::new(0);
+    let (p, _) = fault_program(&mut mem, 60);
+    let out = run_program(cfg, &p, &mut mem);
+    let v = out.violation.expect("Periodic must still catch a leaked register");
+    assert_eq!(v.invariant, "rename-hygiene");
+    assert!(v.cycle >= 20 && v.cycle <= 20 + 16, "caught at {} — outside the stride window", v.cycle);
+}

@@ -97,6 +97,8 @@ pub struct GemmWorkload {
     pub a_cluster: usize,
 }
 
+// Referenced from the `#[serde(default = "default_cluster")]` attribute only.
+#[allow(dead_code)]
 fn default_cluster() -> usize {
     1
 }

@@ -213,6 +213,47 @@ impl BroadcastCache {
         }
         self.stats = BcastStats::default();
     }
+
+    /// Number of entries (sanitizer audit walks them round-robin).
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Freshness audit of one entry: recomputes the entry's zero mask from
+    /// backing memory via `mask_of(line_number)` and, when it disagrees with
+    /// the stored mask, returns `(line, stored, actual)`. `None` for invalid
+    /// entries and for fresh ones. Both designs store the mask (the
+    /// with-data design derives its served values from the same line, so a
+    /// stale mask is exactly a stale line).
+    pub fn audit_entry(
+        &self,
+        idx: usize,
+        mask_of: impl FnOnce(u64) -> u16,
+    ) -> Option<(u64, u16, u16)> {
+        let e = self.entries.get(idx)?;
+        if !e.valid {
+            return None;
+        }
+        let actual = mask_of(e.line);
+        if e.zero_mask != actual {
+            Some((e.line, e.zero_mask, actual))
+        } else {
+            None
+        }
+    }
+
+    /// Fault-injection hook: flips the low zero-mask bit of the first valid
+    /// entry, making it stale versus backing memory. Returns `false` when
+    /// the cache holds no valid entry yet (the injector retries later).
+    pub fn corrupt_first_valid(&mut self) -> bool {
+        for e in &mut self.entries {
+            if e.valid {
+                e.zero_mask ^= 1;
+                return true;
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]

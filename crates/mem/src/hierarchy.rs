@@ -406,6 +406,29 @@ impl CoreMemory {
         self.bcast.as_ref().map(|b| b.peek(addr))
     }
 
+    /// B$ entry count (`None` when no B$); the sanitizer's freshness audit
+    /// walks entries round-robin across check cycles.
+    pub fn bcast_entries(&self) -> Option<usize> {
+        self.bcast.as_ref().map(|b| b.num_entries())
+    }
+
+    /// Audits one B$ entry against backing memory (see
+    /// [`BroadcastCache::audit_entry`]); `None` when no B$, the entry is
+    /// invalid, or it is fresh.
+    pub fn audit_bcast_entry(
+        &self,
+        idx: usize,
+        mask_of: impl FnOnce(u64) -> u16,
+    ) -> Option<(u64, u16, u16)> {
+        self.bcast.as_ref().and_then(|b| b.audit_entry(idx, mask_of))
+    }
+
+    /// Fault-injection hook: corrupts the first valid B$ entry. Returns
+    /// `false` when no B$ is instantiated or nothing is cached yet.
+    pub fn corrupt_bcast_entry(&mut self) -> bool {
+        self.bcast.as_mut().map(|b| b.corrupt_first_valid()).unwrap_or(false)
+    }
+
     fn cyc_ns(&self, cycles: u64) -> f64 {
         cycles as f64 / self.freq_ghz
     }
@@ -608,8 +631,7 @@ mod tests {
         c.dram.channels = 0;
         assert!(c.validate().unwrap_err().contains("dram.channels"));
 
-        let mut c = MemConfig::default();
-        c.uncore_ghz = 0.0;
+        let c = MemConfig { uncore_ghz: 0.0, ..Default::default() };
         assert!(c.validate().unwrap_err().contains("uncore_ghz"));
     }
 

@@ -50,9 +50,13 @@ impl Tlb {
         }
         self.stats.misses += 1;
         if self.entries.len() == self.capacity {
-            let lru =
-                self.entries.iter().enumerate().min_by_key(|(_, (_, t))| *t).map(|(i, _)| i).unwrap();
-            self.entries.swap_remove(lru);
+            // A full TLB is non-empty (capacity >= 1), so an LRU victim
+            // always exists; tolerate a zero-capacity TLB gracefully.
+            if let Some(lru) =
+                self.entries.iter().enumerate().min_by_key(|(_, (_, t))| *t).map(|(i, _)| i)
+            {
+                self.entries.swap_remove(lru);
+            }
         }
         self.entries.push((vpn, self.tick));
         self.walk_ns

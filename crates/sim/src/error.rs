@@ -6,7 +6,7 @@
 //! [`crate::parallel::FailureReport`]) and keeps only owned strings and
 //! plain data so it crosses thread and process boundaries cleanly.
 
-use save_core::StallDiag;
+use save_core::{SanitizerReport, StallDiag};
 use serde::{Deserialize, Serialize};
 
 /// An error from running or configuring a simulation.
@@ -37,6 +37,18 @@ pub enum SimError {
         /// Pipeline snapshot at the moment the run was aborted.
         diag: Box<StallDiag>,
     },
+    /// The cycle-level sanitizer detected a microarchitectural invariant
+    /// violation (or an internal model-integrity check fired) and the run
+    /// was aborted. `report` carries the invariant name, detection cycle
+    /// and a witness of the inconsistent state.
+    InvariantViolation {
+        /// Kernel / workload name.
+        kernel: String,
+        /// Core that tripped the invariant, when known (multicore runs).
+        core: Option<usize>,
+        /// The sanitizer's structured witness.
+        report: Box<SanitizerReport>,
+    },
     /// A core or memory configuration failed validation before the run
     /// started.
     InvalidConfig {
@@ -64,6 +76,7 @@ impl SimError {
         match self {
             SimError::VerifyMismatch { .. } => "verify-mismatch",
             SimError::CycleBudgetExceeded { .. } => "cycle-budget",
+            SimError::InvariantViolation { .. } => "invariant-violation",
             SimError::InvalidConfig { .. } => "invalid-config",
             SimError::WorkerPanic { .. } => "worker-panic",
             SimError::Io { .. } => "io",
@@ -87,6 +100,13 @@ impl std::fmt::Display for SimError {
                     write!(f, " (core {c})")?;
                 }
                 write!(f, ": did not complete: {diag}")
+            }
+            SimError::InvariantViolation { kernel, core, report } => {
+                write!(f, "kernel {kernel}")?;
+                if let Some(c) = core {
+                    write!(f, " (core {c})")?;
+                }
+                write!(f, ": sanitizer abort: {report}")
             }
             SimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
             SimError::WorkerPanic { job, message } => {

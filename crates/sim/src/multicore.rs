@@ -9,7 +9,7 @@
 
 use crate::error::SimError;
 use crate::runner::{warm_regions, ConfigKind, KernelResult, MachineConfig};
-use save_core::Core;
+use save_core::{Core, CoreConfig};
 use save_mem::{CoreMemory, Uncore};
 
 /// Runs `w` on every core of a detailed machine; returns the slowest core's
@@ -18,9 +18,10 @@ use save_mem::{CoreMemory, Uncore};
 /// # Errors
 /// [`SimError::InvalidConfig`] for a rejected operating point,
 /// [`SimError::VerifyMismatch`] (tagged with the offending core) if
-/// `verify` is set and any core's output disagrees with its reference, and
-/// [`SimError::CycleBudgetExceeded`] with the first stalled core's
-/// diagnosis if any core fails to drain.
+/// `verify` is set and any core's output disagrees with its reference,
+/// [`SimError::InvariantViolation`] (tagged with the offending core) if a
+/// core's sanitizer aborted the run, and [`SimError::CycleBudgetExceeded`]
+/// with the first stalled core's diagnosis if any core fails to drain.
 pub fn run_multicore(
     w: &save_kernels::GemmWorkload,
     kind: ConfigKind,
@@ -28,7 +29,19 @@ pub fn run_multicore(
     seed: u64,
     verify: bool,
 ) -> Result<KernelResult, SimError> {
-    let cfg = kind.core_config();
+    run_multicore_custom(w, &kind.core_config(), machine, seed, verify)
+}
+
+/// Like [`run_multicore`] but with an arbitrary core configuration — the
+/// detailed-mode counterpart of [`crate::runner::run_kernel_custom`].
+pub fn run_multicore_custom(
+    w: &save_kernels::GemmWorkload,
+    core_cfg: &CoreConfig,
+    machine: &MachineConfig,
+    seed: u64,
+    verify: bool,
+) -> Result<KernelResult, SimError> {
+    let cfg = *core_cfg;
     cfg.validate().map_err(|what| SimError::InvalidConfig { what })?;
     machine.mem.validate().map_err(|what| SimError::InvalidConfig { what })?;
     let n = machine.cores.max(1);
@@ -58,12 +71,26 @@ pub fn run_multicore(
         }
     }
 
-    // A core that stalled (watchdog or budget) poisons the whole run: the
-    // layer never finishes. Report the first such core's diagnosis.
+    // A core that aborted (sanitizer) or stalled (watchdog or budget)
+    // poisons the whole run: the layer never finishes. Report the first
+    // such core's evidence.
     for (c, o) in outcomes.iter().enumerate() {
         let o = o.as_ref().expect("loop above filled every outcome");
+        if let Some(report) = &o.violation {
+            return Err(SimError::InvariantViolation {
+                kernel: w.name.clone(),
+                core: Some(c),
+                report: report.clone(),
+            });
+        }
         if !o.completed {
-            let diag = o.stall.clone().expect("incomplete runs carry a stall diagnosis");
+            let Some(diag) = o.stall.clone() else {
+                return Err(SimError::Io {
+                    what: format!(
+                        "core {c} stopped without a stall diagnosis or violation report"
+                    ),
+                });
+            };
             return Err(SimError::CycleBudgetExceeded {
                 kernel: w.name.clone(),
                 core: Some(c),

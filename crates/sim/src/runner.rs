@@ -118,7 +118,10 @@ pub fn warm_regions(
 ///   numerical output disagrees with the reference (always a simulator bug);
 /// * [`SimError::CycleBudgetExceeded`] if the run hits the cycle budget or
 ///   the retire-progress watchdog — the error carries a
-///   [`save_core::StallDiag`] naming the stalled resource.
+///   [`save_core::StallDiag`] naming the stalled resource;
+/// * [`SimError::InvariantViolation`] if the cycle-level sanitizer
+///   ([`save_core::SanitizeLevel`], `SAVE_SANITIZE`) aborted the run — the
+///   error carries the [`save_core::SanitizerReport`] witness.
 pub fn run_kernel(
     w: &GemmWorkload,
     kind: ConfigKind,
@@ -134,7 +137,7 @@ pub fn run_kernel(
 
 /// Like [`run_kernel`] but with an arbitrary core configuration — used by
 /// the ablation studies (Figs 17-19) that toggle individual SAVE features.
-/// Always uses the symmetric machine mode.
+/// Respects `machine.mode` like [`run_kernel`] does.
 pub fn run_kernel_custom(
     w: &GemmWorkload,
     core_cfg: &CoreConfig,
@@ -142,6 +145,9 @@ pub fn run_kernel_custom(
     seed: u64,
     verify: bool,
 ) -> Result<KernelResult, SimError> {
+    if machine.mode == MachineMode::Detailed {
+        return crate::multicore::run_multicore_custom(w, core_cfg, machine, seed, verify);
+    }
     let cfg = *core_cfg;
     cfg.validate().map_err(|what| SimError::InvalidConfig { what })?;
     machine.mem.validate().map_err(|what| SimError::InvalidConfig { what })?;
@@ -151,8 +157,19 @@ pub fn run_kernel_custom(
     warm_regions(w, &built, &mut cmem, &mut uncore);
     let core = Core::new(cfg);
     let out = core.run(&built.program, &mut built.mem, &mut cmem, &mut uncore);
+    if let Some(report) = out.violation {
+        return Err(SimError::InvariantViolation {
+            kernel: w.name.clone(),
+            core: None,
+            report,
+        });
+    }
     if !out.completed {
-        let diag = out.stall.expect("incomplete runs carry a stall diagnosis");
+        let Some(diag) = out.stall else {
+            return Err(SimError::Io {
+                what: "run stopped without a stall diagnosis or violation report".to_string(),
+            });
+        };
         return Err(SimError::CycleBudgetExceeded {
             kernel: w.name.clone(),
             core: None,
