@@ -1,0 +1,259 @@
+//! perfstat — host-throughput measurement for the simulator itself.
+//!
+//! Runs a pinned reference GEMM sweep (compute-bound, memory-bound and
+//! mixed-precision points across the three paper operating points, plus one
+//! detailed 4-core point) and reports **simulated kilocycles per host
+//! second** — the number that bounds how many sweep scenarios (Figs 12-19)
+//! the repo can cover. Records append to `BENCH_PERF.json` at the repo
+//! root, forming the host-performance trajectory EXPERIMENTS.md documents.
+//!
+//! Flags:
+//! * `--quick`    smaller sweep (used by the CI perf-smoke job);
+//! * `--update`   append this measurement to `BENCH_PERF.json`;
+//! * `--check`    compare against the last committed record of the same
+//!   sweep size and exit non-zero on a >25% throughput regression;
+//! * `--label L`  free-form label stored with the record.
+
+use save_bench::print_table;
+use save_kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision};
+use save_sim::runner::{run_kernel, ConfigKind, MachineConfig, MachineMode};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One (workload, operating point) measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct PerfPoint {
+    workload: String,
+    config: String,
+    cycles: u64,
+    host_seconds: f64,
+    kcycles_per_host_sec: f64,
+}
+
+/// One appended trajectory record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct PerfRecord {
+    schema: u32,
+    label: String,
+    quick: bool,
+    unix_time: u64,
+    points: Vec<PerfPoint>,
+    total_cycles: u64,
+    total_host_seconds: f64,
+    total_kcycles_per_host_sec: f64,
+}
+
+/// Throughput ratio below which `--check` fails (the >25% regression gate).
+const CHECK_FLOOR: f64 = 0.75;
+
+fn trajectory_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PERF.json")
+}
+
+/// The pinned reference sweep. Changing these points invalidates trajectory
+/// comparability — add new points under new workload names instead.
+fn reference_workloads(quick: bool) -> Vec<GemmWorkload> {
+    let scale = if quick { 1 } else { 4 };
+    let spec_f32 = GemmKernelSpec {
+        m_tiles: 6,
+        n_vecs: 4,
+        pattern: BroadcastPattern::Explicit,
+        precision: Precision::F32,
+    };
+    let spec_mp = GemmKernelSpec { precision: Precision::Mixed, ..spec_f32 };
+    let compute = GemmWorkload::dense("ref-compute", spec_f32, 32, 8 * scale)
+        .with_sparsity(0.3, 0.5);
+    let stream = GemmWorkload {
+        b_panel_tiles: 1, // stream B panels: DRAM-bound, long idle stretches
+        ..GemmWorkload::dense("ref-stream", spec_f32, 32, 8 * scale).with_sparsity(0.6, 0.6)
+    };
+    let mixed = GemmWorkload::dense("ref-mixed", spec_mp, 32, 8 * scale)
+        .with_sparsity(0.5, 0.5);
+    vec![compute, stream, mixed]
+}
+
+/// Repetitions per point; the fastest is recorded. The simulation is
+/// deterministic, so reps differ only in host noise (scheduling, frequency
+/// ramp) — taking the minimum measures the host's ceiling, which is the
+/// quantity the `--check` ratio needs to be stable run-to-run.
+const REPS: usize = 3;
+
+/// Times `run_kernel` `REPS` times and returns (cycles, best host seconds).
+fn time_point(
+    w: &GemmWorkload,
+    kind: ConfigKind,
+    machine: &MachineConfig,
+) -> Result<(u64, f64), save_sim::error::SimError> {
+    let mut cycles = 0;
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let r = run_kernel(w, kind, machine, 7, false)?;
+        let host = t0.elapsed().as_secs_f64();
+        cycles = r.cycles;
+        if host < best {
+            best = host;
+        }
+    }
+    Ok((cycles, best))
+}
+
+fn measure(quick: bool) -> Result<Vec<PerfPoint>, save_sim::error::SimError> {
+    let sym = MachineConfig::default();
+    let det = MachineConfig { cores: 4, mode: MachineMode::Detailed, ..MachineConfig::default() };
+    let mut points = Vec::new();
+    for w in reference_workloads(quick) {
+        for kind in ConfigKind::ALL {
+            let (cycles, host) = time_point(&w, kind, &sym)?;
+            points.push(PerfPoint {
+                workload: w.name.clone(),
+                config: kind.label().to_string(),
+                cycles,
+                host_seconds: host,
+                kcycles_per_host_sec: cycles as f64 / host.max(1e-9) / 1e3,
+            });
+        }
+    }
+    // One detailed multicore point: exercises the lockstep interleaving
+    // (and its coordinated fast-forward) rather than the symmetric runner.
+    let w = &reference_workloads(quick)[1];
+    let (cycles, host) = time_point(w, ConfigKind::Save2Vpu, &det)?;
+    points.push(PerfPoint {
+        workload: format!("{}-4core", w.name),
+        config: ConfigKind::Save2Vpu.label().to_string(),
+        cycles,
+        host_seconds: host,
+        kcycles_per_host_sec: cycles as f64 / host.max(1e-9) / 1e3,
+    });
+    Ok(points)
+}
+
+fn load_trajectory(path: &PathBuf) -> Vec<PerfRecord> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => serde_json::from_str(&s).unwrap_or_else(|e| {
+            eprintln!("[perfstat] could not parse {}: {e}; starting fresh", path.display());
+            Vec::new()
+        }),
+        Err(_) => Vec::new(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let update = args.iter().any(|a| a == "--update");
+    let check = args.iter().any(|a| a == "--check");
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "perfstat".to_string());
+
+    // Warm-up: JIT-free, but first-touch page faults and frequency ramp
+    // would otherwise land in the first measured point.
+    let warm = GemmWorkload::dense(
+        "warmup",
+        GemmKernelSpec {
+            m_tiles: 4,
+            n_vecs: 2,
+            pattern: BroadcastPattern::Explicit,
+            precision: Precision::F32,
+        },
+        16,
+        2,
+    )
+    .with_sparsity(0.3, 0.3);
+    let _ = run_kernel(&warm, ConfigKind::Save2Vpu, &MachineConfig::default(), 7, false);
+
+    let points = match measure(quick) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("[perfstat] reference sweep failed: [{}] {e}", e.kind());
+            return ExitCode::from(1);
+        }
+    };
+    let total_cycles: u64 = points.iter().map(|p| p.cycles).sum();
+    let total_host: f64 = points.iter().map(|p| p.host_seconds).sum();
+    let total_kcps = total_cycles as f64 / total_host.max(1e-9) / 1e3;
+    let record = PerfRecord {
+        schema: 1,
+        label,
+        quick,
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        points: points.clone(),
+        total_cycles,
+        total_host_seconds: total_host,
+        total_kcycles_per_host_sec: total_kcps,
+    };
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.workload.clone(),
+                p.config.clone(),
+                p.cycles.to_string(),
+                format!("{:.3}", p.host_seconds),
+                format!("{:.0}", p.kcycles_per_host_sec),
+            ]
+        })
+        .collect();
+    print_table(
+        "perfstat — simulated kilocycles per host second",
+        &["workload", "config", "sim cycles", "host s", "kcyc/s"],
+        &rows,
+    );
+    println!(
+        "\ntotal: {total_cycles} cycles in {total_host:.3} s = {total_kcps:.0} kcycles/s"
+    );
+
+    let path = trajectory_path();
+    let mut trajectory = load_trajectory(&path);
+
+    let mut ok = true;
+    if check {
+        match trajectory.iter().rev().find(|r| r.quick == quick) {
+            Some(base) => {
+                let ratio = total_kcps / base.total_kcycles_per_host_sec;
+                println!(
+                    "check: {:.0} kcyc/s vs committed {:.0} kcyc/s ({} @ {}) = {ratio:.2}x",
+                    total_kcps, base.total_kcycles_per_host_sec, base.label, base.unix_time,
+                );
+                if ratio < CHECK_FLOOR {
+                    eprintln!(
+                        "[perfstat] FAIL: throughput regressed more than {:.0}% \
+                         ({ratio:.2}x < {CHECK_FLOOR}x baseline)",
+                        (1.0 - CHECK_FLOOR) * 100.0
+                    );
+                    ok = false;
+                }
+            }
+            None => {
+                println!("check: no committed baseline for quick={quick}; passing trivially");
+            }
+        }
+    }
+    if update {
+        trajectory.push(record);
+        match serde_json::to_string_pretty(&trajectory) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(&path, s + "\n") {
+                    eprintln!("[perfstat] could not write {}: {e}", path.display());
+                    ok = false;
+                } else {
+                    println!("appended record to {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("[perfstat] serialize failed: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok { ExitCode::SUCCESS } else { ExitCode::from(1) }
+}

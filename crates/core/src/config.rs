@@ -95,6 +95,12 @@ pub enum SchedulerKind {
     Horizontal,
 }
 
+/// Serde default for [`CoreConfig::fast_forward`]: configs serialized
+/// before the field existed fast-forward like freshly built ones.
+fn default_true() -> bool {
+    true
+}
+
 /// Full core configuration.
 ///
 /// Defaults reproduce the paper's baseline machine (Table I with the
@@ -149,6 +155,16 @@ pub struct CoreConfig {
     /// access is a few hundred cycles); the default leaves two orders of
     /// magnitude of headroom.
     pub watchdog_cycles: u64,
+    /// Event-driven fast-forward (host-side optimization, default on):
+    /// when the pipeline is provably inert — frontend stalled or drained,
+    /// every in-flight µop waiting on a known future cycle — the core jumps
+    /// the clock to the next event instead of stepping idle cycles. The
+    /// jump is observationally pure: cycle counts, statistics and
+    /// functional results are bit-identical with stepping (the determinism
+    /// suite pins this). Disable to A/B against plain stepping. Forced off
+    /// while a fault plan or a µop commit limit is active.
+    #[serde(default = "default_true")]
+    pub fast_forward: bool,
     /// Microarchitectural sanitizer level. Defaults to the `SAVE_SANITIZE`
     /// environment variable (or `Off` when unset) so existing configs and
     /// serialized sweeps pick it up without changes.
@@ -183,6 +199,7 @@ impl Default for CoreConfig {
             hc_penalty_cycles: 6,
             max_cycles: 500_000_000,
             watchdog_cycles: 100_000,
+            fast_forward: true,
             sanitize: SanitizeLevel::from_env(),
             fault: None,
         }

@@ -10,7 +10,7 @@
 use crate::config::{CoreConfig, SchedulerKind};
 use crate::diag::{StallCause, StallDiag};
 use crate::fault::{self, FaultKind, FaultPlan};
-use crate::lsu::Lsu;
+use crate::lsu::{LoadEvent, Lsu};
 use crate::mgu;
 use crate::sanitizer::{Sanitizer, SanitizerReport};
 use crate::rename::{PhysRegFile, RenameTable, ALL_LANES};
@@ -20,7 +20,7 @@ use crate::sched;
 use crate::stats::CoreStats;
 use crate::trace::{TraceEvent, Tracer};
 use crate::uop::{crack, FmaPrecision, PhysId, RobId, Uop};
-use crate::vpu::VpuPipeline;
+use crate::vpu::{VpuOp, VpuPipeline};
 use save_isa::{Program, VecF32, LANES, NUM_VREGS};
 use save_mem::{CoreMemory, Uncore};
 use std::collections::VecDeque;
@@ -84,6 +84,22 @@ pub struct Core {
     san: Option<Box<Sanitizer>>,
     fault_pending: Option<FaultPlan>,
     model_fault: Option<SanitizerReport>,
+    // Reusable per-cycle buffers: the cycle loop allocates nothing in
+    // steady state (see DESIGN.md, host performance).
+    sx: sched::SelectScratch,
+    ops_buf: Vec<VpuOp>,
+    vpu_done: Vec<VpuOp>,
+    lsu_done: Vec<LoadEvent>,
+    stores_buf: Vec<RobId>,
+    crack_buf: Vec<Uop>,
+    // Event-driven fast-forward state: whether the last step was provably
+    // inert, the statistics delta one such inert cycle contributes
+    // (replayed verbatim for each skipped cycle), and the cached next-event
+    // cycle (valid until the next real step — an inert core's pending
+    // events are fixed at issue time, so nothing can move them).
+    ff_inert: bool,
+    last_delta: CoreStats,
+    ff_next: Option<u64>,
 }
 
 impl Core {
@@ -122,6 +138,15 @@ impl Core {
             // only, so it requires checking to be enabled.
             fault_pending: if cfg.sanitize.enabled() { cfg.fault } else { None },
             model_fault: None,
+            sx: sched::SelectScratch::new(),
+            ops_buf: Vec::new(),
+            vpu_done: Vec::new(),
+            lsu_done: Vec::new(),
+            stores_buf: Vec::new(),
+            crack_buf: Vec::new(),
+            ff_inert: false,
+            last_delta: CoreStats::default(),
+            ff_next: None,
             cfg,
         }
     }
@@ -203,6 +228,13 @@ impl Core {
             if let Some(outcome) = self.step(program, mem, cmem, uncore) {
                 return outcome;
             }
+            // Event-driven fast-forward: when the cycle above was provably
+            // inert, jump straight to the next cycle anything can happen.
+            if let Some(target) = self.ff_target() {
+                if let Some(outcome) = self.advance_to(target) {
+                    return outcome;
+                }
+            }
         }
     }
 
@@ -238,17 +270,29 @@ impl Core {
         let insts = &program.insts;
         let mut inst_idx = self.inst_idx;
         let cycle = self.cycle;
+        // Fast-forward activity tracking: `active` records state mutations
+        // that leave no statistics footprint; everything else is detected by
+        // diffing `stats_before` at the end of the cycle.
+        let stats_before = self.stats;
+        let pend_before = self.pend.len();
+        let mut active = false;
         {
-            // 1. Write-back.
-            for op in self.vpu.drain_completed(cycle) {
+            // 1. Write-back. Drained ops hand their lane-result payloads
+            // back to the scheduling scratch for reuse.
+            self.vpu.drain_completed_into(cycle, &mut self.vpu_done);
+            active |= !self.vpu_done.is_empty();
+            for op in self.vpu_done.drain(..) {
                 for r in &op.results {
                     self.prf.write_lane(r.dst, r.lane, r.value);
                 }
+                self.sx.recycle(op.results);
             }
-            for ev in self.lsu.drain_completed(cycle) {
+            self.lsu.drain_completed_into(cycle, &mut self.lsu_done);
+            active |= !self.lsu_done.is_empty();
+            for ev in self.lsu_done.drain(..) {
                 self.prf.write_all(ev.dst, ev.value);
             }
-            self.run_watchers();
+            active |= self.run_watchers();
 
             // 2. Commit.
             let mut committed = 0;
@@ -275,6 +319,7 @@ impl Core {
                     );
                     break;
                 };
+                active = true;
                 if self.tracer.is_some() {
                     let seq = e.seq as RobId;
                     self.trace(TraceEvent::Commit { cycle, rob: seq });
@@ -297,8 +342,11 @@ impl Core {
                 }
             }
 
-            // 3. Issue: memory first, then VPUs.
-            let stores_done = self.lsu.issue_cycle_bounded(
+            // 3. Issue: memory first, then VPUs. The store-completion list
+            // is core-owned scratch (taken for the duration of the borrow
+            // because `integrity` needs `&mut self`).
+            let mut stores_done = std::mem::take(&mut self.stores_buf);
+            self.lsu.issue_cycle_bounded(
                 &mut self.rs,
                 &self.prf,
                 mem,
@@ -310,8 +358,9 @@ impl Core {
                 self.cfg.freq_ghz,
                 cycle,
                 &mut self.stats,
+                &mut stores_done,
             );
-            for r in stores_done {
+            for r in stores_done.drain(..) {
                 if !self.rob.mark_done(r) {
                     self.integrity(
                         Some(r),
@@ -319,20 +368,14 @@ impl Core {
                     );
                 }
             }
-            // Sample the combination window: VFMAs with at least one
-            // schedulable lane this cycle — §III observes 24-28, bounded by
-            // the 32 architectural accumulator registers.
+            self.stores_buf = stores_done;
+            // Refresh the combination-window scoreboard (one sched_mask
+            // evaluation per entry, shared with select) and sample its
+            // size — §III observes 24-28, bounded by the 32 architectural
+            // accumulator registers.
             if self.cfg.scheduler != SchedulerKind::Baseline {
-                let cw = self
-                    .rs
-                    .iter()
-                    .filter(|e| match e {
-                        RsEntry::Fma(f) => {
-                            sched::sched_mask(f, &self.prf, self.cfg.lane_wise) != 0
-                        }
-                        _ => false,
-                    })
-                    .count() as u64;
+                sched::window_masks(&self.rs, &self.prf, self.cfg.lane_wise, &mut self.sx);
+                let cw = self.sx.window_len() as u64;
                 if cw > 0 {
                     self.stats.cw_sum += cw;
                     self.stats.cw_samples += 1;
@@ -369,8 +412,16 @@ impl Core {
             } else {
                 Vec::new()
             };
-            let mut ops =
-                sched::select(&mut self.rs, &self.prf, &self.cfg, cycle, &mut self.stats);
+            let mut ops = std::mem::take(&mut self.ops_buf);
+            sched::select(
+                &mut self.rs,
+                &self.prf,
+                &self.cfg,
+                cycle,
+                &mut self.stats,
+                &mut self.sx,
+                &mut ops,
+            );
             if let Some(plan) = issue_fault {
                 if fault::apply_issue_fault(plan, &mut ops, &rots) {
                     self.fault_pending = None;
@@ -381,7 +432,7 @@ impl Core {
             }
             if !ops.is_empty() {
                 self.stats.vpu_busy_cycles += 1;
-                for op in ops {
+                for op in ops.drain(..) {
                     if self.tracer.is_some() {
                         let mut from: Vec<RobId> =
                             op.results.iter().map(|r| r.rob).collect();
@@ -391,7 +442,9 @@ impl Core {
                     }
                     self.vpu.issue(op);
                 }
+                self.ops_buf = ops;
             } else {
+                self.ops_buf = ops;
                 let has_fma = self.rs.iter().any(|e| matches!(e, RsEntry::Fma(_)));
                 if has_fma {
                     self.stats.vpu_idle_not_ready += 1;
@@ -428,7 +481,7 @@ impl Core {
             }
             // Sweep fully scheduled VFMAs out of the RS (Algorithm 1 lines
             // 12-14, including whole-VFMA BS skips).
-            self.sweep_rs(cycle);
+            active |= self.sweep_rs(cycle);
 
             // 4. Mask generation (SAVE only).
             if self.cfg.scheduler != SchedulerKind::Baseline {
@@ -438,17 +491,17 @@ impl Core {
                 if let Some(s) = self.san.as_mut() {
                     s.sync_elms(&self.rs);
                 }
-                self.sweep_rs(cycle);
+                active |= self.sweep_rs(cycle);
             }
 
             // 5. Allocate / rename.
             let mut slots = if cycle < self.alloc_stalled_until { 0 } else { self.cfg.issue_width };
             while slots > 0 {
                 while self.pend.len() < self.cfg.issue_width && inst_idx < insts.len() {
-                    let mut buf = Vec::with_capacity(2);
-                    crack(&insts[inst_idx], &mut buf);
+                    self.crack_buf.clear();
+                    crack(&insts[inst_idx], &mut self.crack_buf);
                     inst_idx += 1;
-                    self.pend.extend(buf);
+                    self.pend.extend(self.crack_buf.drain(..));
                 }
                 let Some(u) = self.pend.front().copied() else { break };
                 if let Uop::Bubble(n) = u {
@@ -511,9 +564,48 @@ impl Core {
                 }
             }
         }
+        // Allocation progress: cracking advances `inst_idx`; bubble
+        // consumption and successful allocation both change the pending
+        // queue length (a crack-and-allocate cycle that restores the length
+        // still moves `inst_idx`).
+        active |= inst_idx != self.inst_idx || self.pend.len() != pend_before;
         self.inst_idx = inst_idx;
         self.cycle = cycle + 1;
         self.stats.cycles = self.cycle;
+        // Classify the cycle for fast-forward. A cycle is inert when no
+        // tracked mutation happened AND no work-counting statistic moved;
+        // idle/stall counters (and the CW sample) are allowed to move — they
+        // are exactly what `last_delta` replays for each skipped cycle.
+        // The clock is already advanced, so the cached next-event target is
+        // computed against the next probe cycle.
+        if self.ff_allowed() {
+            let mut d = self.stats.delta_since(&stats_before);
+            d.cycles = 0;
+            let progressed = active
+                || d.uops_committed != 0
+                || d.fma_uops != 0
+                || d.vpu_ops != 0
+                || d.vpu_busy_cycles != 0
+                || d.lanes_issued != 0
+                || d.lanes_effectual != 0
+                || d.lanes_total != 0
+                || d.fmas_skipped_bs != 0
+                || d.mp_mls_issued != 0
+                || d.loads_issued != 0
+                || d.stores_issued != 0
+                || d.bcast_loads != 0
+                || d.bcast_hits != 0;
+            self.ff_inert = !progressed;
+            self.ff_next = if self.ff_inert {
+                self.last_delta = d;
+                Some(self.compute_ff_target())
+            } else {
+                None
+            };
+        } else {
+            self.ff_inert = false;
+            self.ff_next = None;
+        }
         let violation = match self.san.as_mut() {
             Some(s) => self.model_fault.take().or_else(|| s.take_violation()),
             None => self.model_fault.take(),
@@ -551,6 +643,98 @@ impl Core {
         None
     }
 
+    /// Whether event-driven fast-forward may engage at all. Forced off
+    /// while a fault plan is configured (faults fire on absolute cycles and
+    /// may retry every cycle) or a commit limit is active (the precise-state
+    /// harness inspects the core at an exact µop boundary).
+    fn ff_allowed(&self) -> bool {
+        self.cfg.fast_forward && self.cfg.fault.is_none() && self.uop_commit_limit.is_none()
+    }
+
+    /// If the core just executed a provably inert cycle, returns the next
+    /// cycle at which anything can change: the earliest of VPU completion,
+    /// load/store completion, the front-end restart after a bubble, any
+    /// mixed-precision partial-result forwarding event, the cycle budget,
+    /// and the retire-progress watchdog deadline. Skipping straight there
+    /// via [`Core::advance_to`] is observationally pure — every skipped
+    /// cycle would have re-executed the probe cycle's no-op exactly.
+    ///
+    /// Returns `None` when the last cycle did real work (or fast-forward is
+    /// disabled), in which case the caller must keep stepping.
+    pub fn ff_target(&self) -> Option<u64> {
+        if self.finished || !self.ff_inert || !self.ff_allowed() {
+            return None;
+        }
+        // Computed once when the core went inert; still valid because an
+        // inert core's pending events were all fixed at issue time.
+        self.ff_next
+    }
+
+    /// The current cycle (equals `stats().cycles` between steps).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The next-event scan behind [`Core::ff_target`] — one pass over the
+    /// pipelines and the RS, run once per inert transition, not per cycle.
+    fn compute_ff_target(&self) -> u64 {
+        // Upper bound: whichever termination deadline comes first. Jumping
+        // exactly onto it makes `advance_to` raise the same outcome the
+        // stepped run would.
+        let mut t = self
+            .cfg
+            .max_cycles
+            .min(self.last_commit_cycle.saturating_add(self.cfg.watchdog_cycles));
+        if let Some(c) = self.vpu.next_completion() {
+            t = t.min(c);
+        }
+        if let Some(c) = self.lsu.next_completion() {
+            t = t.min(c);
+        }
+        if self.alloc_stalled_until > self.cycle {
+            t = t.min(self.alloc_stalled_until);
+        }
+        // Partial-result forwarding (§V): a chained Bf16 VFMA becomes
+        // schedulable when its predecessor's lane value reaches the forward
+        // point. Past-due forwards are excluded — they are already usable
+        // and whatever blocks them unlocks only via one of the events above.
+        for e in self.rs.iter() {
+            if let RsEntry::Fma(f) = e {
+                if let Some(c) = f.next_fwd_event(self.cycle) {
+                    t = t.min(c);
+                }
+            }
+        }
+        t.max(self.cycle)
+    }
+
+    /// Jumps the clock to `target`, replaying the captured inert-cycle
+    /// statistics delta once per skipped cycle, then applies the same
+    /// termination checks (in the same precedence order) that stepping to
+    /// `target` would have applied. Only valid directly after a step that
+    /// left the core inert (see [`Core::ff_target`]).
+    pub fn advance_to(&mut self, target: u64) -> Option<RunOutcome> {
+        if target <= self.cycle {
+            return None;
+        }
+        let skipped = target - self.cycle;
+        let delta = self.last_delta;
+        self.stats.add_scaled(&delta, skipped);
+        self.cycle = target;
+        self.stats.cycles = target;
+        if self.cycle >= self.cfg.max_cycles {
+            self.finished = true;
+            let stall = Some(self.stall_diag(StallCause::CycleBudget));
+            return Some(RunOutcome { stats: self.stats, completed: false, stall, violation: None });
+        }
+        if self.cycle - self.last_commit_cycle >= self.cfg.watchdog_cycles {
+            self.finished = true;
+            let stall = Some(self.stall_diag(StallCause::NoCommitProgress));
+            return Some(RunOutcome { stats: self.stats, completed: false, stall, violation: None });
+        }
+        None
+    }
+
     /// Applies a planned state fault, returning `true` when an eligible
     /// target existed (the fault is then spent; otherwise retried next
     /// cycle). Each arm models one specific way real scheduler/rename/ROB
@@ -559,8 +743,8 @@ impl Core {
         match plan.kind {
             FaultKind::FlipElmBit => {
                 let bit = 1u16 << (plan.seed % LANES as u64);
-                for e in self.rs.iter_mut() {
-                    if let RsEntry::Fma(f) = e {
+                for pos in 0..self.rs.len() {
+                    if let RsEntry::Fma(f) = self.rs.at_mut(pos) {
                         if f.elm_ready && f.precision == FmaPrecision::F32 {
                             f.elm ^= bit;
                             f.orig_elm ^= bit;
@@ -630,7 +814,6 @@ impl Core {
             FaultKind::ReorderRsPick => {
                 let ready: Vec<usize> = self
                     .rs
-                    .entries()
                     .iter()
                     .enumerate()
                     .filter_map(|(i, e)| match e {
@@ -644,7 +827,7 @@ impl Core {
                     .take(2)
                     .collect();
                 if let [first, second] = ready[..] {
-                    self.rs.entries_mut().swap(first, second);
+                    self.rs.swap_order(first, second);
                     true
                 } else {
                     false
@@ -657,10 +840,12 @@ impl Core {
 
     /// Removes fully scheduled VFMAs from the RS (Algorithm 1 lines 12-14,
     /// including whole-VFMA BS skips), notifying the sanitizer so it can
-    /// verify each departing VFMA scheduled exactly its ELM.
-    fn sweep_rs(&mut self, cycle: u64) {
+    /// verify each departing VFMA scheduled exactly its ELM. Returns `true`
+    /// if anything was removed.
+    fn sweep_rs(&mut self, cycle: u64) -> bool {
         let mut exited: Vec<RobId> = Vec::new();
         let track = self.san.is_some();
+        let before = self.rs.len();
         self.rs.retain(|e| match e {
             RsEntry::Fma(f) => {
                 let done = f.elm_ready && f.elm == 0 && f.ml == 0;
@@ -676,6 +861,7 @@ impl Core {
                 s.on_rs_exit(r, cycle);
             }
         }
+        self.rs.len() != before
     }
 
     /// Captures the pipeline state for a stall report.
@@ -702,11 +888,15 @@ impl Core {
         }
     }
 
-    fn run_watchers(&mut self) {
+    /// Returns `true` if any watcher copied at least one lane (progress the
+    /// fast-forward logic must treat as activity).
+    fn run_watchers(&mut self) -> bool {
         let prf = &mut self.prf;
+        let mut progressed = false;
         self.watchers.retain_mut(|w| {
             let avail = prf.ready_mask(w.src) & w.remaining;
             if avail != 0 {
+                progressed = true;
                 let src_val = *prf.value(w.src);
                 let mut m = avail;
                 while m != 0 {
@@ -718,57 +908,61 @@ impl Core {
             }
             w.remaining != 0
         });
+        progressed
     }
 
     fn run_mgus(&mut self, cycle: u64) {
         let mut budget = self.cfg.issue_width;
-        let mut new_watchers: Vec<Watcher> = Vec::new();
-        let mut skips: Vec<RobId> = Vec::new();
-        for e in self.rs.iter_mut() {
+        let trace_on = self.tracer.is_some();
+        for pos in 0..self.rs.len() {
             if budget == 0 {
                 break;
             }
-            let f = match e {
-                RsEntry::Fma(f) => f,
-                _ => continue,
+            // Watchers are pushed straight into `self.watchers` (a distinct
+            // field, so the entry borrow allows it); only the BS-skip trace
+            // needs `&mut self` and is emitted after the borrow ends.
+            let skipped_rob = {
+                let f = match self.rs.at_mut(pos) {
+                    RsEntry::Fma(f) => f,
+                    _ => continue,
+                };
+                if f.elm_ready || !self.prf.fully_ready(f.a) || !self.prf.fully_ready(f.b) {
+                    continue;
+                }
+                budget -= 1;
+                match f.precision {
+                    FmaPrecision::F32 => {
+                        let elm = mgu::elm_f32(self.prf.value(f.a), self.prf.value(f.b), f.wm);
+                        f.elm = elm;
+                        f.orig_elm = elm;
+                    }
+                    FmaPrecision::Bf16 => {
+                        let (ml, al) = mgu::elm_mp(self.prf.value(f.a), self.prf.value(f.b));
+                        f.ml = ml;
+                        f.orig_ml = ml;
+                        f.elm = al;
+                        f.orig_elm = al;
+                    }
+                }
+                f.elm_ready = true;
+                self.stats.lanes_effectual += f.orig_elm.count_ones() as u64;
+                if f.orig_elm == 0 {
+                    self.stats.fmas_skipped_bs += 1;
+                }
+                let passthrough = !f.orig_elm;
+                if passthrough != 0 {
+                    self.watchers.push(Watcher {
+                        src: f.acc_src,
+                        dst: f.acc_dst,
+                        remaining: passthrough,
+                    });
+                }
+                (f.orig_elm == 0).then_some(f.rob)
             };
-            if f.elm_ready || !self.prf.fully_ready(f.a) || !self.prf.fully_ready(f.b) {
-                continue;
-            }
-            budget -= 1;
-            match f.precision {
-                FmaPrecision::F32 => {
-                    let elm = mgu::elm_f32(self.prf.value(f.a), self.prf.value(f.b), f.wm);
-                    f.elm = elm;
-                    f.orig_elm = elm;
+            if trace_on {
+                if let Some(rob) = skipped_rob {
+                    self.trace(TraceEvent::BsSkip { cycle, rob });
                 }
-                FmaPrecision::Bf16 => {
-                    let (ml, al) = mgu::elm_mp(self.prf.value(f.a), self.prf.value(f.b));
-                    f.ml = ml;
-                    f.orig_ml = ml;
-                    f.elm = al;
-                    f.orig_elm = al;
-                }
-            }
-            f.elm_ready = true;
-            self.stats.lanes_effectual += f.orig_elm.count_ones() as u64;
-            if f.orig_elm == 0 {
-                self.stats.fmas_skipped_bs += 1;
-                skips.push(f.rob);
-            }
-            let passthrough = !f.orig_elm;
-            if passthrough != 0 {
-                new_watchers.push(Watcher {
-                    src: f.acc_src,
-                    dst: f.acc_dst,
-                    remaining: passthrough,
-                });
-            }
-        }
-        self.watchers.extend(new_watchers);
-        if self.tracer.is_some() {
-            for rob in skips {
-                self.trace(TraceEvent::BsSkip { cycle, rob });
             }
         }
         // Newly created watchers may copy already-ready lanes this cycle.

@@ -44,12 +44,24 @@ pub struct LoadEvent {
     pub value: VecF32,
 }
 
+/// One issue decision collected during the immutable RS scan of
+/// [`Lsu::issue_cycle_bounded`], applied after the scan.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    Load { rob: RobId, dst: PhysId, addr: u64, value_addr: u64, kind: LoadKind },
+    Store { rob: RobId, src: PhysId, addr: u64 },
+}
+
 /// The load/store unit state.
 #[derive(Clone, Debug, Default)]
 pub struct Lsu {
     events: Vec<LoadEvent>,
     /// (rob, line) of allocated-but-unissued stores, for load ordering.
     pending_stores: Vec<(RobId, u64)>,
+    /// Per-cycle scratch: issue decisions (reused across cycles).
+    actions: Vec<Action>,
+    /// Per-cycle scratch: ROB ids removed from the RS this cycle.
+    issued: Vec<RobId>,
 }
 
 impl Lsu {
@@ -72,20 +84,32 @@ impl Lsu {
     /// write-back.
     pub fn drain_completed(&mut self, cycle: u64) -> Vec<LoadEvent> {
         let mut done = Vec::new();
+        self.drain_completed_into(cycle, &mut done);
+        done
+    }
+
+    /// Drains completed load events at `cycle` into `out` (allocation-free
+    /// variant used by the core's cycle loop).
+    pub fn drain_completed_into(&mut self, cycle: u64, out: &mut Vec<LoadEvent>) {
         let mut i = 0;
         while i < self.events.len() {
             if self.events[i].complete_at <= cycle {
-                done.push(self.events.swap_remove(i));
+                out.push(self.events.swap_remove(i));
             } else {
                 i += 1;
             }
         }
-        done
     }
 
     /// Loads still in flight.
     pub fn in_flight(&self) -> usize {
         self.events.len()
+    }
+
+    /// Earliest completion cycle among in-flight loads, if any — a wake-up
+    /// event for the core's fast-forward next-event derivation.
+    pub fn next_completion(&self) -> Option<u64> {
+        self.events.iter().map(|ev| ev.complete_at).min()
     }
 
     /// Issues ready loads and stores for this cycle under the port limits
@@ -104,6 +128,7 @@ impl Lsu {
         cycle: u64,
         stats: &mut CoreStats,
     ) -> Vec<RobId> {
+        let mut stores_done = Vec::new();
         self.issue_cycle_bounded(
             rs,
             prf,
@@ -116,13 +141,16 @@ impl Lsu {
             freq_ghz,
             cycle,
             stats,
-        )
+            &mut stores_done,
+        );
+        stores_done
     }
 
     /// Issues ready loads and stores for this cycle under the port and
-    /// load-buffer limits. Returns the ROB ids of stores that completed
-    /// (issued) this cycle.
-    #[allow(clippy::too_many_arguments)]
+    /// load-buffer limits. ROB ids of stores that completed (issued) this
+    /// cycle are appended to `stores_done` (cleared first); decision and
+    /// removal scratch lives in the LSU, so a steady-state cycle allocates
+    /// nothing.
     #[allow(clippy::too_many_arguments)]
     pub fn issue_cycle_bounded(
         &mut self,
@@ -137,21 +165,20 @@ impl Lsu {
         freq_ghz: f64,
         cycle: u64,
         stats: &mut CoreStats,
-    ) -> Vec<RobId> {
+        stores_done: &mut Vec<RobId>,
+    ) {
+        stores_done.clear();
         let now_ns = cycle as f64 / freq_ghz;
         let buffer_left = load_buffer.saturating_sub(self.events.len());
         let mut l1_left = load_ports.min(buffer_left);
         let mut b_left = cmem.bcast_read_ports();
         let mut stores_left = store_ports;
-        let mut issued: Vec<RobId> = Vec::new();
-        let mut stores_done: Vec<RobId> = Vec::new();
 
         // Collect issue decisions first (immutable scan), then apply.
-        enum Action {
-            Load { rob: RobId, dst: PhysId, addr: u64, value_addr: u64, kind: LoadKind },
-            Store { rob: RobId, src: PhysId, addr: u64 },
-        }
-        let mut actions = Vec::new();
+        let mut actions = std::mem::take(&mut self.actions);
+        let mut issued = std::mem::take(&mut self.issued);
+        actions.clear();
+        issued.clear();
         for e in rs.iter() {
             if l1_left == 0 && stores_left == 0 {
                 break;
@@ -198,7 +225,7 @@ impl Lsu {
             }
         }
 
-        for act in actions {
+        for act in actions.drain(..) {
             match act {
                 Action::Load { rob, dst, addr, value_addr, kind } => {
                     let (value, class) = match kind {
@@ -246,7 +273,8 @@ impl Lsu {
                 RsEntry::Fma(_) => true,
             });
         }
-        stores_done
+        self.actions = actions;
+        self.issued = issued;
     }
 }
 
@@ -337,9 +365,11 @@ mod tests {
             }));
         }
         // Buffer of 3: only 3 loads may be in flight even over many cycles.
+        let mut stores_done = Vec::new();
         for cyc in 0..3 {
             lsu.issue_cycle_bounded(
                 &mut rs, &prf, &mut mem, &mut cmem, &mut unc, 2, 3, 1, 1.7, cyc, &mut stats,
+                &mut stores_done,
             );
             assert!(lsu.in_flight() <= 3, "cycle {cyc}: {} in flight", lsu.in_flight());
         }
@@ -348,6 +378,7 @@ mod tests {
         lsu.drain_completed(1_000_000);
         lsu.issue_cycle_bounded(
             &mut rs, &prf, &mut mem, &mut cmem, &mut unc, 2, 3, 1, 1.7, 1_000_001, &mut stats,
+            &mut stores_done,
         );
         assert_eq!(stats.loads_issued, 5);
     }

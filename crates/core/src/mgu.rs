@@ -7,7 +7,7 @@
 //! match the issue width so they are never a bottleneck; the core honours
 //! that by generating at most `issue_width` ELMs per cycle.
 
-use save_isa::{VecF32, LANES};
+use save_isa::VecF32;
 
 /// ELM for an FP32 VFMA: `nonzero(a) & nonzero(b) & wm`.
 pub fn elm_f32(a: &VecF32, b: &VecF32, wm: u16) -> u16 {
@@ -24,19 +24,45 @@ pub fn elm_mp(a: &VecF32, b: &VecF32) -> (u32, u16) {
     let az = a.as_bf16().zero_mask();
     let bz = b.as_bf16().zero_mask();
     let ml = !az & !bz;
-    let mut al = 0u16;
-    for i in 0..LANES {
-        if ml >> (2 * i) & 0b11 != 0 {
-            al |= 1 << i;
-        }
-    }
-    (ml, al)
+    (ml, fold_ml_to_al(ml))
+}
+
+/// Collapses each ML pair of `ml` into one AL bit (bit *i* of the result is
+/// `ml[2i] | ml[2i+1]`) with a branchless bit fold: OR each bit into its
+/// even neighbour, then pack the 16 even bit positions into the low half
+/// (the standard parallel-extract ladder for the 0x5555... mask). This is
+/// per-ELM-generation hot-path code; the scalar loop it replaces lives on
+/// in the tests as the property-test oracle.
+#[inline]
+fn fold_ml_to_al(ml: u32) -> u16 {
+    let mut x = (ml | (ml >> 1)) & 0x5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF;
+    x as u16
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use save_isa::{Bf16, VecBf16};
+    use proptest::prelude::*;
+    use save_isa::{Bf16, VecBf16, LANES};
+
+    proptest! {
+        /// The branchless pair-OR fold agrees with the scalar loop it
+        /// replaced, for every possible ML pattern.
+        #[test]
+        fn fold_matches_scalar_loop(ml in any::<u32>()) {
+            let mut al = 0u16;
+            for i in 0..LANES {
+                if ml >> (2 * i) & 0b11 != 0 {
+                    al |= 1 << i;
+                }
+            }
+            prop_assert_eq!(fold_ml_to_al(ml), al);
+        }
+    }
 
     #[test]
     fn f32_elm_combines_operands_and_mask() {

@@ -3,6 +3,15 @@
 //! All in-flight, un-issued µops wait here (Table I: 97 entries shared by
 //! loads, stores and VFMAs). SAVE's Combination Window is exactly the set of
 //! ready VFMAs present in these entries at a given cycle (§III).
+//!
+//! Storage is a slot array with a free list plus a program-order index
+//! (`order`, a `(rob, slot)` list): removing an entry returns its slot to
+//! the free list and drops one small index pair instead of memmoving the
+//! ~¼ KB payloads, and `rob → entry` lookups binary-search the index (ROB
+//! ids are allocated monotonically, so the order list is sorted by
+//! construction). The sanitizer's RS-reorder fault permutes the order list,
+//! after which lookups fall back to a linear scan — the fault must corrupt
+//! scheduling age order, not the lookup structure.
 
 use crate::rename::PhysRegFile;
 use crate::uop::{FmaPrecision, LoadKind, PhysId, RobId};
@@ -72,6 +81,19 @@ impl FmaEntry {
     pub fn ml_bits_at(&self, al: usize) -> u32 {
         self.ml >> (2 * al) & 0b11
     }
+
+    /// Earliest future wake-up among this entry's forwarded partials: the
+    /// smallest `fwd_ready` cycle that is `>= horizon` (pending partials
+    /// already usable before `horizon` are gated by other conditions and
+    /// therefore are not wake-up events). `None` when no partial is pending
+    /// in that range. Used by the fast-forward next-event derivation.
+    pub fn next_fwd_event(&self, horizon: u64) -> Option<u64> {
+        self.fwd_ready
+            .iter()
+            .copied()
+            .filter(|&r| r != NO_FWD && r >= horizon)
+            .min()
+    }
 }
 
 /// A load waiting in the RS (address-ready at allocation; waits for a port).
@@ -126,32 +148,48 @@ impl RsEntry {
     }
 }
 
-/// The reservation station: bounded, kept in program order.
+/// The reservation station: bounded, iterated in program order.
 #[derive(Clone, Debug, Default)]
 pub struct Rs {
-    entries: Vec<RsEntry>,
+    /// Slot storage; `None` slots are on the free list.
+    slots: Vec<Option<RsEntry>>,
+    /// Free slot indices.
+    free: Vec<u32>,
+    /// Program-order view: `(rob, slot)` pairs, oldest first. Sorted by
+    /// `rob` as long as `sorted` holds (ROB ids are monotonic).
+    order: Vec<(RobId, u32)>,
+    /// Whether `order` is still sorted by ROB id (cleared by
+    /// [`Rs::swap_order`] and by out-of-order pushes in unit tests).
+    sorted: bool,
     capacity: usize,
 }
 
 impl Rs {
     /// Creates an empty RS of `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        Rs { entries: Vec::with_capacity(capacity), capacity }
+        Rs {
+            slots: (0..capacity).map(|_| None).collect(),
+            // Pop from the back: slot 0 is handed out first.
+            free: (0..capacity as u32).rev().collect(),
+            order: Vec::with_capacity(capacity),
+            sorted: true,
+            capacity,
+        }
     }
 
     /// Occupied entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.order.len()
     }
 
     /// `true` when the RS holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.order.is_empty()
     }
 
     /// `true` when allocation must stall.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.order.len() >= self.capacity
     }
 
     /// Inserts an entry (program order is insertion order).
@@ -160,40 +198,91 @@ impl Rs {
     /// Panics on overflow — callers must check [`Rs::is_full`].
     pub fn push(&mut self, e: RsEntry) {
         assert!(!self.is_full(), "RS overflow");
-        self.entries.push(e);
+        let rob = e.rob();
+        let slot = self.free.pop().expect("free slot exists below capacity");
+        self.slots[slot as usize] = Some(e);
+        if let Some(&(last, _)) = self.order.last() {
+            if rob < last {
+                self.sorted = false;
+            }
+        }
+        self.order.push((rob, slot));
     }
 
     /// Iterates entries oldest-first.
-    pub fn iter(&self) -> std::slice::Iter<'_, RsEntry> {
-        self.entries.iter()
+    pub fn iter(&self) -> impl Iterator<Item = &RsEntry> {
+        self.order.iter().map(|&(_, s)| {
+            self.slots[s as usize].as_ref().expect("order refers to a filled slot")
+        })
     }
 
-    /// Mutable iteration oldest-first.
-    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, RsEntry> {
-        self.entries.iter_mut()
+    /// The entry at program-order position `pos` (0 = oldest).
+    ///
+    /// # Panics
+    /// Panics when `pos >= self.len()`.
+    pub fn at(&self, pos: usize) -> &RsEntry {
+        let (_, s) = self.order[pos];
+        self.slots[s as usize].as_ref().expect("order refers to a filled slot")
     }
 
-    /// Direct slice access for index-based scheduling.
-    pub fn entries_mut(&mut self) -> &mut [RsEntry] {
-        &mut self.entries
+    /// Mutable access to the entry at program-order position `pos`.
+    ///
+    /// Positions are stable while no entry is pushed or removed, which lets
+    /// the schedulers interleave shared and mutable access by position
+    /// without holding one long mutable borrow of the whole station.
+    ///
+    /// # Panics
+    /// Panics when `pos >= self.len()`.
+    pub fn at_mut(&mut self, pos: usize) -> &mut RsEntry {
+        let (_, s) = self.order[pos];
+        self.slots[s as usize].as_mut().expect("order refers to a filled slot")
     }
 
-    /// Shared slice access for index-based inspection.
-    pub fn entries(&self) -> &[RsEntry] {
-        &self.entries
+    /// Program-order position of the entry with ROB id `rob`, if present.
+    /// Binary search while the order list is sorted, linear after a
+    /// scheduler fault permuted it.
+    pub fn pos_of(&self, rob: RobId) -> Option<usize> {
+        if self.sorted {
+            self.order.binary_search_by_key(&rob, |&(r, _)| r).ok()
+        } else {
+            self.order.iter().position(|&(r, _)| r == rob)
+        }
     }
 
     /// Finds the FMA entry with ROB id `rob`.
     pub fn find_fma_mut(&mut self, rob: RobId) -> Option<&mut FmaEntry> {
-        self.entries.iter_mut().find_map(|e| match e {
-            RsEntry::Fma(f) if f.rob == rob => Some(f),
+        let pos = self.pos_of(rob)?;
+        match self.at_mut(pos) {
+            RsEntry::Fma(f) => Some(f),
             _ => None,
-        })
+        }
+    }
+
+    /// Swaps two program-order positions — the sanitizer's RS-reorder fault
+    /// hook. Marks the order list unsorted so lookups stay correct.
+    ///
+    /// # Panics
+    /// Panics when either position is out of range.
+    pub fn swap_order(&mut self, a: usize, b: usize) {
+        self.order.swap(a, b);
+        self.sorted = false;
     }
 
     /// Removes entries matching the predicate (issued / fully scheduled).
-    pub fn retain(&mut self, keep: impl FnMut(&RsEntry) -> bool) {
-        self.entries.retain(keep);
+    /// Frees the slot and drops the index pair; entry payloads never move.
+    pub fn retain(&mut self, mut keep: impl FnMut(&RsEntry) -> bool) {
+        let slots = &mut self.slots;
+        let free = &mut self.free;
+        self.order.retain(|&(_, s)| {
+            let e = slots[s as usize].as_ref().expect("order refers to a filled slot");
+            if keep(e) {
+                true
+            } else {
+                slots[s as usize] = None;
+                free.push(s);
+                false
+            }
+        });
     }
 }
 
@@ -256,5 +345,54 @@ mod tests {
         assert_eq!(rs.len(), 1);
         assert!(rs.find_fma_mut(1).is_some());
         assert!(rs.find_fma_mut(0).is_none());
+    }
+
+    #[test]
+    fn slots_are_recycled_without_moving_survivors() {
+        let mut rs = Rs::new(3);
+        for r in 0..3 {
+            rs.push(RsEntry::Fma(fma(r, 0)));
+        }
+        // Remove the middle entry; survivors keep program order.
+        rs.retain(|e| e.rob() != 1);
+        let robs: Vec<_> = rs.iter().map(|e| e.rob()).collect();
+        assert_eq!(robs, vec![0, 2]);
+        // The freed slot is reused by the next push, appended in order.
+        rs.push(RsEntry::Fma(fma(7, 0)));
+        let robs: Vec<_> = rs.iter().map(|e| e.rob()).collect();
+        assert_eq!(robs, vec![0, 2, 7]);
+        assert!(rs.is_full());
+        assert_eq!(rs.pos_of(2), Some(1));
+        assert_eq!(rs.pos_of(7), Some(2));
+        assert_eq!(rs.pos_of(3), None);
+    }
+
+    #[test]
+    fn lookup_survives_order_permutation() {
+        let mut rs = Rs::new(4);
+        for r in 0..4 {
+            rs.push(RsEntry::Fma(fma(r, 0)));
+        }
+        rs.swap_order(0, 3);
+        let robs: Vec<_> = rs.iter().map(|e| e.rob()).collect();
+        assert_eq!(robs, vec![3, 1, 2, 0], "iteration follows the permuted order");
+        // Binary search would miss in the permuted list; the linear
+        // fallback must still find every entry.
+        for r in 0..4 {
+            assert_eq!(rs.find_fma_mut(r).map(|f| f.rob), Some(r));
+        }
+        assert_eq!(rs.pos_of(0), Some(3));
+    }
+
+    #[test]
+    fn next_fwd_event_filters_past_and_absent() {
+        let mut e = fma(0, 0);
+        assert_eq!(e.next_fwd_event(10), None);
+        e.fwd_ready[3] = 9; // already usable before the horizon: not an event
+        e.fwd_ready[5] = 12;
+        e.fwd_ready[6] = 15;
+        assert_eq!(e.next_fwd_event(10), Some(12));
+        assert_eq!(e.next_fwd_event(9), Some(9));
+        assert_eq!(e.next_fwd_event(16), None);
     }
 }

@@ -4,23 +4,26 @@
 use crate::config::CoreConfig;
 use crate::rename::PhysRegFile;
 use crate::rs::{Rs, RsEntry};
+use crate::sched::SelectScratch;
 use crate::stats::CoreStats;
 use crate::uop::FmaPrecision;
 use crate::vpu::{LaneResult, VpuOp};
 use save_isa::LANES;
 
 /// Issues up to one full VFMA per VPU per cycle.
+#[allow(clippy::too_many_arguments)]
 pub fn select(
     rs: &mut Rs,
     prf: &PhysRegFile,
     cfg: &CoreConfig,
     cycle: u64,
     stats: &mut CoreStats,
-) -> Vec<VpuOp> {
-    let mut ops = Vec::new();
-    let mut issued = Vec::new();
+    sx: &mut SelectScratch,
+    out: &mut Vec<VpuOp>,
+) {
+    sx.issued.clear();
     for e in rs.iter() {
-        if ops.len() == cfg.num_vpus {
+        if out.len() == cfg.num_vpus {
             break;
         }
         let f = match e {
@@ -30,7 +33,7 @@ pub fn select(
         if !(prf.fully_ready(f.a) && prf.fully_ready(f.b) && prf.fully_ready(f.acc_src)) {
             continue;
         }
-        let mut results = Vec::with_capacity(LANES);
+        let mut results = sx.lease();
         let latency = match f.precision {
             FmaPrecision::F32 => {
                 for lane in 0..LANES {
@@ -54,14 +57,14 @@ pub fn select(
         };
         stats.vpu_ops += 1;
         stats.lanes_issued += LANES as u64;
-        ops.push(VpuOp { complete_at: cycle + latency, results });
-        issued.push(f.rob);
+        out.push(VpuOp { complete_at: cycle + latency, results });
+        sx.issued.push(f.rob);
     }
-    if !issued.is_empty() {
+    if !sx.issued.is_empty() {
+        let issued = &sx.issued;
         rs.retain(|e| match e {
             RsEntry::Fma(f) => !issued.contains(&f.rob),
             _ => true,
         });
     }
-    ops
 }

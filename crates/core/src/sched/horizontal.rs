@@ -10,46 +10,51 @@
 use crate::config::CoreConfig;
 use crate::rename::PhysRegFile;
 use crate::rs::{Rs, RsEntry};
+use crate::sched::SelectScratch;
 use crate::stats::CoreStats;
 use crate::uop::FmaPrecision;
 use crate::vpu::{LaneResult, VpuOp};
 use save_isa::LANES;
 
 /// Runs one cycle of horizontal compression.
+#[allow(clippy::too_many_arguments)]
 pub fn select(
     rs: &mut Rs,
     prf: &PhysRegFile,
     cfg: &CoreConfig,
     cycle: u64,
     stats: &mut CoreStats,
-) -> Vec<VpuOp> {
+    sx: &mut SelectScratch,
+    out: &mut Vec<VpuOp>,
+) {
     let precision = match super::oldest_window_precision(rs, prf) {
         Some(p) => p,
-        None => return Vec::new(),
+        None => return,
     };
     let latency = match precision {
         FmaPrecision::F32 => cfg.fp32_fma_cycles,
         FmaPrecision::Bf16 => cfg.mp_fma_cycles,
     } + cfg.hc_penalty_cycles;
 
-    let mut ops: Vec<VpuOp> = Vec::new();
-    let mut current: Vec<LaneResult> = Vec::with_capacity(LANES);
+    // Walk the window scoreboard oldest-first; each entry's schedulable
+    // mask was computed this cycle by `window_masks` and is unaffected by
+    // the lane consumption of older entries.
+    let mut current: Vec<LaneResult> = sx.lease();
     let mut slots_in_current = 0usize;
-    let lane_wise = cfg.lane_wise;
-    for e in rs.entries_mut() {
-        if ops.len() == cfg.num_vpus {
+    for mi in 0..sx.masks.len() {
+        if out.len() == cfg.num_vpus {
             break;
         }
-        let f = match e {
+        let (pos, mut mask) = sx.masks[mi];
+        let f = match rs.at_mut(pos) {
             RsEntry::Fma(f) => f,
-            _ => continue,
+            _ => unreachable!(),
         };
         if f.precision != precision {
             continue;
         }
-        let mut mask = super::sched_mask(f, prf, lane_wise);
         while mask != 0 {
-            if ops.len() == cfg.num_vpus {
+            if out.len() == cfg.num_vpus {
                 break;
             }
             let lane = mask.trailing_zeros() as usize;
@@ -71,15 +76,17 @@ pub fn select(
             if slots_in_current == LANES {
                 stats.vpu_ops += 1;
                 stats.lanes_issued += LANES as u64;
-                ops.push(VpuOp { complete_at: cycle + latency, results: std::mem::take(&mut current) });
+                let full = std::mem::replace(&mut current, sx.lease());
+                out.push(VpuOp { complete_at: cycle + latency, results: full });
                 slots_in_current = 0;
             }
         }
     }
-    if !current.is_empty() && ops.len() < cfg.num_vpus {
+    if !current.is_empty() && out.len() < cfg.num_vpus {
         stats.vpu_ops += 1;
         stats.lanes_issued += current.len() as u64;
-        ops.push(VpuOp { complete_at: cycle + latency, results: current });
+        out.push(VpuOp { complete_at: cycle + latency, results: current });
+    } else {
+        sx.recycle(current);
     }
-    ops
 }

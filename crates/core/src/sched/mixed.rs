@@ -21,11 +21,11 @@
 use crate::config::CoreConfig;
 use crate::rename::PhysRegFile;
 use crate::rs::{FmaEntry, Rs, RsEntry, NO_FWD};
+use crate::sched::SelectScratch;
 use crate::stats::CoreStats;
 use crate::uop::FmaPrecision;
 use crate::vpu::{LaneResult, VpuOp};
 use save_isa::LANES;
-use std::collections::HashMap;
 
 fn as_fma(e: &RsEntry) -> Option<&FmaEntry> {
     match e {
@@ -34,48 +34,56 @@ fn as_fma(e: &RsEntry) -> Option<&FmaEntry> {
     }
 }
 
-/// One ML-consumption decision: `(entry index, ml bits within the AL)`.
-type Pick = (usize, u32);
-
 /// Runs one cycle of mixed-precision selection with ML compression.
+#[allow(clippy::too_many_arguments)]
 pub fn select(
     rs: &mut Rs,
     prf: &PhysRegFile,
     cfg: &CoreConfig,
     cycle: u64,
     stats: &mut CoreStats,
-) -> Vec<VpuOp> {
+    sx: &mut SelectScratch,
+    out: &mut Vec<VpuOp>,
+) {
     let nv = cfg.num_vpus;
     let latency = cfg.mp_fma_cycles;
     let fwd_delay = latency.saturating_sub(cfg.mp_forward_overlap).max(1);
 
-    // Index MP entries oldest-first and by ROB id for chain lookups.
-    let mut idxs: Vec<usize> = Vec::new();
-    let mut rob_to_idx: HashMap<usize, usize> = HashMap::new();
+    // Index MP entries oldest-first; chain lookups (predecessor/successor by
+    // ROB id) go through the RS's own sorted order index.
+    sx.idxs.clear();
     for (i, e) in rs.iter().enumerate() {
         if let Some(f) = as_fma(e) {
             if f.precision == FmaPrecision::Bf16 {
-                idxs.push(i);
-                rob_to_idx.insert(f.rob, i);
+                sx.idxs.push(i);
             }
         }
     }
-    if idxs.is_empty() {
-        return Vec::new();
+    if sx.idxs.is_empty() {
+        return;
     }
 
-    let mut per_vpu: Vec<Vec<LaneResult>> = (0..nv).map(|_| Vec::new()).collect();
-    let mut per_vpu_mls: Vec<u64> = vec![0; nv];
+    // Per-VPU result accumulators, recycled across cycles.
+    for slot in sx.per_vpu.iter_mut() {
+        slot.clear();
+    }
+    while sx.per_vpu.len() < nv {
+        let v = sx.lease();
+        sx.per_vpu.push(v);
+    }
 
     for pos in 0..LANES {
         let mut v = 0;
-        for &idx in &idxs {
+        for ii in 0..sx.idxs.len() {
             if v == nv {
                 break;
             }
+            let idx = sx.idxs[ii];
             // Immutable phase: decide whether this entry can lead a slot.
-            let (l, picks, base) = {
-                let Some(f) = as_fma(&rs.entries()[idx]) else { continue };
+            // At most two MLs fit a temp AL slot, so a pick list is a
+            // fixed pair: the leader and optionally its chain successor.
+            let (l, picks, npicks, base) = {
+                let Some(f) = as_fma(rs.at(idx)) else { continue };
                 if !f.in_window(prf) {
                     continue;
                 }
@@ -86,8 +94,8 @@ pub fn select(
                 }
                 // Chain order: the predecessor must have drained this AL.
                 if let Some(p) = f.chain_pred {
-                    if let Some(&pidx) = rob_to_idx.get(&p) {
-                        if let Some(pf) = as_fma(&rs.entries()[pidx]) {
+                    if let Some(pidx) = rs.pos_of(p) {
+                        if let Some(pf) = as_fma(rs.at(pidx)) {
                             if pf.ml_bits_at(l) != 0 {
                                 continue;
                             }
@@ -114,42 +122,40 @@ pub fn select(
                 };
                 // Consume this entry's MLs (1 or 2); if only one, try to
                 // extend with the chain successor's first ML.
-                let mut picks: Vec<Pick> = vec![(idx, bits)];
+                let mut picks = [(idx, bits), (0, 0)];
+                let mut npicks = 1;
                 if bits.count_ones() == 1 {
-                    if let Some(sidx) =
-                        f.chain_succ.and_then(|s| rob_to_idx.get(&s)).copied()
-                    {
-                        if let Some(sf) = as_fma(&rs.entries()[sidx]) {
+                    if let Some(sidx) = f.chain_succ.and_then(|s| rs.pos_of(s)) {
+                        if let Some(sf) = as_fma(rs.at(sidx)) {
                             if sf.in_window(prf) {
                                 let sbits = sf.ml_bits_at(l);
                                 if sbits != 0 {
                                     let first = sbits & sbits.wrapping_neg();
-                                    picks.push((sidx, first));
+                                    picks[1] = (sidx, first);
+                                    npicks = 2;
                                 }
                             }
                         }
                     }
                 }
-                (l, picks, base)
+                (l, picks, npicks, base)
             };
 
             // Mutable phase: compute values, clear bits, record results.
             let mut cum = base;
-            for (eidx, take) in &picks {
-                let entries = rs.entries_mut();
-                let f = match &mut entries[*eidx] {
+            for &(eidx, take) in &picks[..npicks] {
+                let f = match rs.at_mut(eidx) {
                     RsEntry::Fma(f) => f,
                     _ => unreachable!(),
                 };
-                cum = super::al_value_mp(f, prf, l, *take, cum);
-                f.ml &= !(*take << (2 * l));
-                per_vpu_mls[v] += take.count_ones() as u64;
+                cum = super::al_value_mp(f, prf, l, take, cum);
+                f.ml &= !(take << (2 * l));
                 stats.mp_mls_issued += take.count_ones() as u64;
                 if f.ml_bits_at(l) == 0 {
                     // This op finalizes the instruction at this AL.
                     f.elm &= !(1 << l);
                     f.fwd_ready[l] = NO_FWD;
-                    per_vpu[v].push(LaneResult { rob: f.rob, dst: f.acc_dst, lane: l, value: cum });
+                    sx.per_vpu[v].push(LaneResult { rob: f.rob, dst: f.acc_dst, lane: l, value: cum });
                 } else {
                     // Partial: forward the running value to the chain's next
                     // op instead of storing it architecturally (§V-B).
@@ -161,14 +167,14 @@ pub fn select(
         }
     }
 
-    let mut ops = Vec::new();
-    for (results, _mls) in per_vpu.into_iter().zip(per_vpu_mls) {
-        if results.is_empty() {
+    for v in 0..nv {
+        if sx.per_vpu[v].is_empty() {
             continue;
         }
+        let fresh = sx.lease();
+        let results = std::mem::replace(&mut sx.per_vpu[v], fresh);
         stats.vpu_ops += 1;
         stats.lanes_issued += results.len() as u64;
-        ops.push(VpuOp { complete_at: cycle + latency, results });
+        out.push(VpuOp { complete_at: cycle + latency, results });
     }
-    ops
 }

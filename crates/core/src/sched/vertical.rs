@@ -15,69 +15,67 @@
 use crate::config::CoreConfig;
 use crate::rename::PhysRegFile;
 use crate::rs::{Rs, RsEntry};
+use crate::sched::SelectScratch;
 use crate::stats::CoreStats;
 use crate::uop::FmaPrecision;
 use crate::vpu::{LaneResult, VpuOp};
 use save_isa::LANES;
 
-/// One lane-assignment produced by the select loop.
-struct Pick {
-    entry_idx: usize,
-    lane: usize,
-}
-
 /// Runs one cycle of vertical coalescing.
+#[allow(clippy::too_many_arguments)]
 pub fn select(
     rs: &mut Rs,
     prf: &PhysRegFile,
     cfg: &CoreConfig,
     cycle: u64,
     stats: &mut CoreStats,
-) -> Vec<VpuOp> {
-    // Gather candidates oldest-first with their current schedulable masks.
+    sx: &mut SelectScratch,
+    out: &mut Vec<VpuOp>,
+) {
+    // Candidates: the window scoreboard filtered to the cycle's precision,
+    // oldest-first, masks consumed in place as lanes are assigned.
     let precision = match super::oldest_window_precision(rs, prf) {
         Some(p) => p,
-        None => return Vec::new(),
+        None => return,
     };
-    let mut cand: Vec<(usize, u16)> = Vec::new();
-    for (i, e) in rs.iter().enumerate() {
-        if let RsEntry::Fma(f) = e {
-            if f.precision != precision {
-                continue;
-            }
-            let m = super::sched_mask(f, prf, cfg.lane_wise);
-            if m != 0 {
-                cand.push((i, m));
+    sx.cand.clear();
+    for &(pos, m) in &sx.masks {
+        if let RsEntry::Fma(f) = rs.at(pos) {
+            if f.precision == precision {
+                sx.cand.push((pos, m));
             }
         }
     }
-    if cand.is_empty() {
-        return Vec::new();
+    if sx.cand.is_empty() {
+        return;
     }
 
     // Algorithm 1: per lane position, assign the first N candidates with an
     // unscheduled effectual lane there to the N temps.
     let nv = cfg.num_vpus;
-    let mut temps: Vec<Vec<Pick>> = (0..nv).map(|_| Vec::new()).collect();
-    let mut temp_filled: Vec<u16> = vec![0; nv];
-    let entries = rs.entries_mut();
+    if sx.temps.len() < nv {
+        sx.temps.resize_with(nv, Vec::new);
+    }
+    for t in &mut sx.temps[..nv] {
+        t.clear();
+    }
     for pos in 0..LANES {
         let mut v = 0;
-        for (idx, mask) in cand.iter_mut() {
+        for ci in 0..sx.cand.len() {
             if v == nv {
                 break;
             }
-            let f = match &entries[*idx] {
+            let entry_pos = sx.cand[ci].0;
+            let f = match rs.at(entry_pos) {
                 RsEntry::Fma(f) => f,
                 _ => unreachable!(),
             };
             let lane = f.logical_lane(pos);
-            if *mask >> lane & 1 == 0 {
+            if sx.cand[ci].1 >> lane & 1 == 0 {
                 continue;
             }
-            *mask &= !(1 << lane);
-            temps[v].push(Pick { entry_idx: *idx, lane });
-            temp_filled[v] |= 1 << pos;
+            sx.cand[ci].1 &= !(1 << lane);
+            sx.temps[v].push((entry_pos, lane));
             v += 1;
         }
     }
@@ -87,31 +85,33 @@ pub fn select(
         FmaPrecision::F32 => cfg.fp32_fma_cycles,
         FmaPrecision::Bf16 => cfg.mp_fma_cycles,
     };
-    let mut ops = Vec::new();
-    for temp in temps.into_iter().filter(|t| !t.is_empty()) {
-        let mut results = Vec::with_capacity(temp.len());
-        for p in temp {
-            let f = match &mut entries[p.entry_idx] {
+    for v in 0..nv {
+        if sx.temps[v].is_empty() {
+            continue;
+        }
+        let mut results = sx.lease();
+        for pi in 0..sx.temps[v].len() {
+            let (entry_pos, lane) = sx.temps[v][pi];
+            let f = match rs.at_mut(entry_pos) {
                 RsEntry::Fma(f) => f,
                 _ => unreachable!(),
             };
             let value = match precision {
-                FmaPrecision::F32 => super::lane_value_f32(f, prf, p.lane),
+                FmaPrecision::F32 => super::lane_value_f32(f, prf, lane),
                 FmaPrecision::Bf16 => {
-                    let bits = f.ml_bits_at(p.lane);
-                    let base = prf.value(f.acc_src).lane(p.lane);
-                    let v = super::al_value_mp(f, prf, p.lane, bits, base);
-                    f.ml &= !(0b11 << (2 * p.lane));
+                    let bits = f.ml_bits_at(lane);
+                    let base = prf.value(f.acc_src).lane(lane);
+                    let val = super::al_value_mp(f, prf, lane, bits, base);
+                    f.ml &= !(0b11 << (2 * lane));
                     stats.mp_mls_issued += bits.count_ones() as u64;
-                    v
+                    val
                 }
             };
-            f.elm &= !(1 << p.lane);
-            results.push(LaneResult { rob: f.rob, dst: f.acc_dst, lane: p.lane, value });
+            f.elm &= !(1 << lane);
+            results.push(LaneResult { rob: f.rob, dst: f.acc_dst, lane, value });
         }
         stats.vpu_ops += 1;
         stats.lanes_issued += results.len() as u64;
-        ops.push(VpuOp { complete_at: cycle + latency, results });
+        out.push(VpuOp { complete_at: cycle + latency, results });
     }
-    ops
 }

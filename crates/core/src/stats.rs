@@ -3,7 +3,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Counters collected over one kernel run.
-#[derive(Clone, Copy, Default, Debug, Serialize, Deserialize)]
+///
+/// All fields are `u64` counters, so equality is exact — the determinism
+/// and fast-forward purity tests compare whole structs.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoreStats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -52,6 +55,113 @@ pub struct CoreStats {
 }
 
 impl CoreStats {
+    /// Per-field difference `self - before` (saturating never occurs in
+    /// practice: counters only grow). Used by the fast-forward machinery to
+    /// capture what one inert probe cycle contributed, so skipped cycles
+    /// can replay it exactly.
+    ///
+    /// Full destructuring keeps this exhaustive at compile time: adding a
+    /// counter without deciding its delta semantics is a build error.
+    pub fn delta_since(&self, before: &CoreStats) -> CoreStats {
+        let CoreStats {
+            cycles,
+            uops_committed,
+            fma_uops,
+            vpu_ops,
+            lanes_issued,
+            lanes_effectual,
+            lanes_total,
+            fmas_skipped_bs,
+            mp_mls_issued,
+            alloc_stall_rob,
+            alloc_stall_rs,
+            alloc_stall_phys,
+            loads_issued,
+            stores_issued,
+            bcast_loads,
+            bcast_hits,
+            vpu_busy_cycles,
+            vpu_idle_no_fma,
+            vpu_idle_not_ready,
+            cw_sum,
+            cw_samples,
+        } = *self;
+        CoreStats {
+            cycles: cycles - before.cycles,
+            uops_committed: uops_committed - before.uops_committed,
+            fma_uops: fma_uops - before.fma_uops,
+            vpu_ops: vpu_ops - before.vpu_ops,
+            lanes_issued: lanes_issued - before.lanes_issued,
+            lanes_effectual: lanes_effectual - before.lanes_effectual,
+            lanes_total: lanes_total - before.lanes_total,
+            fmas_skipped_bs: fmas_skipped_bs - before.fmas_skipped_bs,
+            mp_mls_issued: mp_mls_issued - before.mp_mls_issued,
+            alloc_stall_rob: alloc_stall_rob - before.alloc_stall_rob,
+            alloc_stall_rs: alloc_stall_rs - before.alloc_stall_rs,
+            alloc_stall_phys: alloc_stall_phys - before.alloc_stall_phys,
+            loads_issued: loads_issued - before.loads_issued,
+            stores_issued: stores_issued - before.stores_issued,
+            bcast_loads: bcast_loads - before.bcast_loads,
+            bcast_hits: bcast_hits - before.bcast_hits,
+            vpu_busy_cycles: vpu_busy_cycles - before.vpu_busy_cycles,
+            vpu_idle_no_fma: vpu_idle_no_fma - before.vpu_idle_no_fma,
+            vpu_idle_not_ready: vpu_idle_not_ready - before.vpu_idle_not_ready,
+            cw_sum: cw_sum - before.cw_sum,
+            cw_samples: cw_samples - before.cw_samples,
+        }
+    }
+
+    /// Adds `n × delta` to every counter — replaying `n` skipped inert
+    /// cycles whose per-cycle contribution was `delta`. The `cycles` field
+    /// is managed by the caller (the core sets it from the clock), so a
+    /// fast-forward delta carries `cycles == 0`.
+    pub fn add_scaled(&mut self, delta: &CoreStats, n: u64) {
+        let CoreStats {
+            cycles,
+            uops_committed,
+            fma_uops,
+            vpu_ops,
+            lanes_issued,
+            lanes_effectual,
+            lanes_total,
+            fmas_skipped_bs,
+            mp_mls_issued,
+            alloc_stall_rob,
+            alloc_stall_rs,
+            alloc_stall_phys,
+            loads_issued,
+            stores_issued,
+            bcast_loads,
+            bcast_hits,
+            vpu_busy_cycles,
+            vpu_idle_no_fma,
+            vpu_idle_not_ready,
+            cw_sum,
+            cw_samples,
+        } = *delta;
+        self.cycles += cycles * n;
+        self.uops_committed += uops_committed * n;
+        self.fma_uops += fma_uops * n;
+        self.vpu_ops += vpu_ops * n;
+        self.lanes_issued += lanes_issued * n;
+        self.lanes_effectual += lanes_effectual * n;
+        self.lanes_total += lanes_total * n;
+        self.fmas_skipped_bs += fmas_skipped_bs * n;
+        self.mp_mls_issued += mp_mls_issued * n;
+        self.alloc_stall_rob += alloc_stall_rob * n;
+        self.alloc_stall_rs += alloc_stall_rs * n;
+        self.alloc_stall_phys += alloc_stall_phys * n;
+        self.loads_issued += loads_issued * n;
+        self.stores_issued += stores_issued * n;
+        self.bcast_loads += bcast_loads * n;
+        self.bcast_hits += bcast_hits * n;
+        self.vpu_busy_cycles += vpu_busy_cycles * n;
+        self.vpu_idle_no_fma += vpu_idle_no_fma * n;
+        self.vpu_idle_not_ready += vpu_idle_not_ready * n;
+        self.cw_sum += cw_sum * n;
+        self.cw_samples += cw_samples * n;
+    }
+
     /// Committed µops per cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {

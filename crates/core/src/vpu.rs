@@ -52,20 +52,32 @@ impl VpuPipeline {
     /// Removes and returns every op completing at or before `cycle`.
     pub fn drain_completed(&mut self, cycle: u64) -> Vec<VpuOp> {
         let mut done = Vec::new();
+        self.drain_completed_into(cycle, &mut done);
+        done
+    }
+
+    /// Removes every op completing at or before `cycle`, appending to `out`
+    /// (an allocation-free drain: the caller recycles the result payloads).
+    pub fn drain_completed_into(&mut self, cycle: u64, out: &mut Vec<VpuOp>) {
         let mut i = 0;
         while i < self.inflight.len() {
             if self.inflight[i].complete_at <= cycle {
-                done.push(self.inflight.swap_remove(i));
+                out.push(self.inflight.swap_remove(i));
             } else {
                 i += 1;
             }
         }
-        done
     }
 
     /// Ops still executing.
     pub fn in_flight(&self) -> usize {
         self.inflight.len()
+    }
+
+    /// Earliest completion cycle among in-flight ops, if any — a wake-up
+    /// event for the core's fast-forward next-event derivation.
+    pub fn next_completion(&self) -> Option<u64> {
+        self.inflight.iter().map(|op| op.complete_at).min()
     }
 }
 

@@ -53,6 +53,36 @@ fn add_fma(s: &mut Setup, rob: usize, acc_log: u8, rot: i8, elm: u16) -> u32 {
     acc_dst
 }
 
+/// Old-signature convenience wrappers: refresh the window scoreboard (as
+/// the core's cycle loop does) and collect the issued ops.
+fn select_vertical(
+    rs: &mut Rs,
+    prf: &PhysRegFile,
+    cfg: &CoreConfig,
+    cycle: u64,
+    stats: &mut CoreStats,
+) -> Vec<save_core::vpu::VpuOp> {
+    let mut sx = sched::SelectScratch::new();
+    sched::window_masks(rs, prf, cfg.lane_wise, &mut sx);
+    let mut out = Vec::new();
+    sched::vertical::select(rs, prf, cfg, cycle, stats, &mut sx, &mut out);
+    out
+}
+
+fn select_horizontal(
+    rs: &mut Rs,
+    prf: &PhysRegFile,
+    cfg: &CoreConfig,
+    cycle: u64,
+    stats: &mut CoreStats,
+) -> Vec<save_core::vpu::VpuOp> {
+    let mut sx = sched::SelectScratch::new();
+    sched::window_masks(rs, prf, cfg.lane_wise, &mut sx);
+    let mut out = Vec::new();
+    sched::horizontal::select(rs, prf, cfg, cycle, stats, &mut sx, &mut out);
+    out
+}
+
 fn one_vpu() -> CoreConfig {
     CoreConfig { num_vpus: 1, ..CoreConfig::save_2vpu() }
 }
@@ -67,7 +97,7 @@ fn fig5a_vertical_coalescing_fills_per_lane_oldest_first() {
     add_fma(&mut s, 2, 1, 0, 0b001);
     add_fma(&mut s, 3, 2, 0, 0b110);
     let mut stats = CoreStats::default();
-    let ops = sched::vertical::select(&mut s.rs, &s.prf, &one_vpu(), 0, &mut stats);
+    let ops = select_vertical(&mut s.rs, &s.prf, &one_vpu(), 0, &mut stats);
     assert_eq!(ops.len(), 1);
     let mut got: Vec<(usize, usize)> =
         ops[0].results.iter().map(|r| (r.rob, r.lane)).collect();
@@ -97,7 +127,7 @@ fn fig7_rotation_breaks_shared_pattern_conflicts() {
         add_fma(&mut s, rob, acc, rot, 0b1);
     }
     let mut stats = CoreStats::default();
-    let ops = sched::vertical::select(&mut s.rs, &s.prf, &one_vpu(), 0, &mut stats);
+    let ops = select_vertical(&mut s.rs, &s.prf, &one_vpu(), 0, &mut stats);
     assert_eq!(ops.len(), 1);
     assert_eq!(ops[0].results.len(), 3, "rotation must de-conflict all three lanes");
 
@@ -106,7 +136,7 @@ fn fig7_rotation_breaks_shared_pattern_conflicts() {
     for (rob, acc) in [(1usize, 0u8), (2, 1), (3, 2)] {
         add_fma(&mut s, rob, acc, 0, 0b1);
     }
-    let ops = sched::vertical::select(&mut s.rs, &s.prf, &one_vpu(), 0, &mut stats);
+    let ops = select_vertical(&mut s.rs, &s.prf, &one_vpu(), 0, &mut stats);
     assert_eq!(ops[0].results.len(), 1, "without rotation the lanes conflict");
 }
 
@@ -148,12 +178,12 @@ fn fig8_lane_wise_dependence_unblocks_false_dependences() {
 
     // Vector-wise: nothing issues.
     let vw = CoreConfig { lane_wise: false, ..one_vpu() };
-    let ops = sched::vertical::select(&mut s.rs, &s.prf, &vw, 0, &mut stats);
+    let ops = select_vertical(&mut s.rs, &s.prf, &vw, 0, &mut stats);
     assert!(ops.is_empty(), "vector-wise dependence must block I2");
 
     // Lane-wise: lane 1 issues with the correct value 1 + 2*3.
     let lw = CoreConfig { lane_wise: true, ..one_vpu() };
-    let ops = sched::vertical::select(&mut s.rs, &s.prf, &lw, 0, &mut stats);
+    let ops = select_vertical(&mut s.rs, &s.prf, &lw, 0, &mut stats);
     assert_eq!(ops.len(), 1);
     assert_eq!(ops[0].results.len(), 1);
     assert_eq!(ops[0].results[0].lane, 1);
@@ -171,7 +201,7 @@ fn two_vpus_double_per_lane_throughput() {
         }
         let cfg = CoreConfig { num_vpus: vpus, rotate: false, ..CoreConfig::save_2vpu() };
         let mut stats = CoreStats::default();
-        let ops = sched::vertical::select(&mut s.rs, &s.prf, &cfg, 0, &mut stats);
+        let ops = select_vertical(&mut s.rs, &s.prf, &cfg, 0, &mut stats);
         assert_eq!(ops.len(), expect, "{vpus} VPUs");
         assert!(ops.iter().all(|o| o.results.len() == 1));
     }
@@ -192,7 +222,7 @@ fn horizontal_compression_ignores_lane_positions() {
         ..CoreConfig::save_2vpu()
     };
     let mut stats = CoreStats::default();
-    let ops = sched::horizontal::select(&mut s.rs, &s.prf, &cfg, 10, &mut stats);
+    let ops = select_horizontal(&mut s.rs, &s.prf, &cfg, 10, &mut stats);
     assert_eq!(ops.len(), 1);
     assert_eq!(ops[0].results.len(), 3);
     assert_eq!(

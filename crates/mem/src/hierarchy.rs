@@ -390,6 +390,15 @@ impl CoreMemory {
         s
     }
 
+    /// Earliest in-flight prefetch-fill completion (ns), if any fill is
+    /// outstanding. Diagnostics only: fills never gate core progress — a
+    /// demand load racing a fill folds the remaining wait into its own
+    /// latency at issue time — which is why the core's event-driven
+    /// fast-forward needs no memory-side wake-up event (see DESIGN.md).
+    pub fn next_inflight_fill_ns(&self) -> Option<f64> {
+        self.inflight.values().copied().reduce(f64::min)
+    }
+
     /// Broadcast-cache statistics, if a B$ is instantiated.
     pub fn bcast_stats(&self) -> Option<crate::bcast_cache::BcastStats> {
         self.bcast.as_ref().map(|b| b.stats())

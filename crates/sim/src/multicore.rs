@@ -63,10 +63,55 @@ pub fn run_multicore_custom(
             if outcomes[c].is_some() {
                 continue;
             }
-            let bk = &mut built[c];
-            if let Some(out) = cores[c].step(&bk.program, &mut bk.mem, &mut cmems[c], &mut uncore) {
+            // Per-core single-cycle skip: an inert core whose next event is
+            // still in the future would execute a provable no-op this cycle
+            // (it touches no shared state), so replay its inert delta for
+            // one cycle instead of stepping it. This is what keeps mixed
+            // rounds cheap — typically only one core is actually active
+            // while the rest wait on DRAM.
+            let skip = cores[c].ff_target().is_some_and(|t| t > cores[c].cycle());
+            let res = if skip {
+                let next = cores[c].cycle() + 1;
+                cores[c].advance_to(next)
+            } else {
+                let bk = &mut built[c];
+                cores[c].step(&bk.program, &mut bk.mem, &mut cmems[c], &mut uncore)
+            };
+            if let Some(out) = res {
                 outcomes[c] = Some(out);
                 remaining -= 1;
+            }
+        }
+        // Event-driven fast-forward, in lockstep: the shared uncore is
+        // time-stamped by core clocks, so cores must stay cycle-aligned.
+        // Only when EVERY unfinished core just executed an inert cycle may
+        // the machine jump, and then only to the earliest next event across
+        // cores — any core's earlier event would re-engage the others.
+        let mut target: Option<u64> = None;
+        let mut all_inert = true;
+        for (c, core) in cores.iter().enumerate() {
+            if outcomes[c].is_some() {
+                continue;
+            }
+            match core.ff_target() {
+                Some(t) => target = Some(target.map_or(t, |m| m.min(t))),
+                None => {
+                    all_inert = false;
+                    break;
+                }
+            }
+        }
+        if all_inert {
+            if let Some(t) = target {
+                for c in 0..n {
+                    if outcomes[c].is_some() {
+                        continue;
+                    }
+                    if let Some(out) = cores[c].advance_to(t) {
+                        outcomes[c] = Some(out);
+                        remaining -= 1;
+                    }
+                }
             }
         }
     }

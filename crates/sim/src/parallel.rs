@@ -260,6 +260,23 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_is_clamped_to_item_count() {
+        // A single job with a generous thread budget must not spawn worker
+        // threads at all: the clamp reduces it to the caller-thread path.
+        let caller = std::thread::current().id();
+        let items = vec![41u32];
+        let out = parallel_try_map(&items, 8, 0, |&x| {
+            assert_eq!(
+                std::thread::current().id(),
+                caller,
+                "one job must run on the calling thread, not a spawned worker"
+            );
+            Ok(x + 1)
+        });
+        assert_eq!(*out[0].as_ref().unwrap(), 42);
+    }
+
+    #[test]
     fn failure_report_counts_and_exit_code() {
         let results: Vec<Result<u32, SimError>> = vec![
             Ok(1),

@@ -1,0 +1,108 @@
+//! Vendored minimal stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset the workspace's `harness = false` benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], `criterion_group!`
+//! (both the plain and the `name/config/targets` forms) and
+//! `criterion_main!`. Instead of criterion's statistical machinery it runs
+//! a fixed number of timed batches and reports the fastest mean iteration
+//! time — enough to compare hot-path changes locally and in CI.
+
+use std::time::{Duration, Instant};
+
+/// Re-export spot for `criterion::black_box` users.
+pub use std::hint::black_box;
+
+/// Benchmark driver (minimal `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: calibrates an iteration count to roughly 10 ms
+    /// per sample, takes `sample_size` samples, and prints the best mean.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration pass.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(10);
+        let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            let mean = b.elapsed / (iters as u32);
+            if mean < best {
+                best = mean;
+            }
+        }
+        println!("bench {name:<40} {:>12.1} ns/iter (best of {})", best.as_nanos() as f64, self.sample_size);
+        self
+    }
+
+    /// Compatibility no-op (`criterion` finalizes reports here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Per-benchmark timing context (minimal `criterion::Bencher`).
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function (minimal `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point (minimal `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

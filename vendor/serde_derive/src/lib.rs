@@ -1,0 +1,483 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` implementation.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` in the offline
+//! build) and emits impls of the vendored `serde` crate's tree-model traits.
+//! Supported shapes: non-generic structs (named, tuple, unit) and enums with
+//! unit / tuple / struct variants (externally tagged, matching serde's JSON
+//! layout). Supported attributes: `#[serde(default)]` and
+//! `#[serde(default = "path")]` on named fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is filled during deserialization.
+#[derive(Clone)]
+enum DefaultAttr {
+    Std,
+    Path(String),
+}
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    default: Option<DefaultAttr>,
+}
+
+#[derive(Clone)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(ts: TokenStream) -> Self {
+        Parser { tokens: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    /// Consumes a run of outer attributes, returning any `#[serde(...)]`
+    /// default directives found among them.
+    fn skip_attrs(&mut self) -> Option<DefaultAttr> {
+        let mut found = None;
+        while self.at_punct('#') {
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("expected [...] after # in attribute");
+            };
+            if let Some(d) = parse_serde_attr(g.stream()) {
+                found = Some(d);
+            }
+        }
+        found
+    }
+
+    /// Consumes `pub`, `pub(...)` if present.
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Skips a type (or any token run) up to a top-level `,`, tracking
+    /// angle-bracket depth; the comma itself is consumed.
+    fn skip_until_top_comma(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+/// Parses the inside of a `#[...]` attribute group, returning a default
+/// directive if it is `serde(default)` or `serde(default = "path")`.
+fn parse_serde_attr(ts: TokenStream) -> Option<DefaultAttr> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(1) else {
+        return None;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "default" => {}
+        Some(other) => panic!("unsupported serde attribute starting at {other}"),
+        None => return None,
+    }
+    match inner.get(1) {
+        None => Some(DefaultAttr::Std),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+            let Some(TokenTree::Literal(lit)) = inner.get(2) else {
+                panic!("expected string literal in #[serde(default = ...)]");
+            };
+            let s = lit.to_string();
+            let path = s.trim_matches('"').to_string();
+            Some(DefaultAttr::Path(path))
+        }
+        Some(other) => panic!("unsupported serde attribute token {other}"),
+    }
+}
+
+/// Counts the fields of a tuple shape from the tokens inside its parens.
+fn tuple_arity(ts: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for t in ts {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                fields += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+/// Parses the named fields inside a brace group.
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut p = Parser::new(ts);
+    let mut fields = Vec::new();
+    while p.peek().is_some() {
+        let default = p.skip_attrs();
+        p.skip_vis();
+        let name = p.expect_ident();
+        match p.next() {
+            Some(TokenTree::Punct(pp)) if pp.as_char() == ':' => {}
+            other => panic!("expected : after field {name}, got {other:?}"),
+        }
+        p.skip_until_top_comma();
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Parses the variants inside an enum's brace group.
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut p = Parser::new(ts);
+    let mut variants = Vec::new();
+    while p.peek().is_some() {
+        p.skip_attrs();
+        let name = p.expect_ident();
+        let shape = match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                p.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                p.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip a possible discriminant, then the trailing comma.
+        if p.at_punct('=') {
+            p.next();
+            p.skip_until_top_comma();
+        } else if p.at_punct(',') {
+            p.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut p = Parser::new(input);
+    p.skip_attrs();
+    p.skip_vis();
+    let kw = p.expect_ident();
+    let name = p.expect_ident();
+    if p.at_punct('<') {
+        panic!("derive stub does not support generic type {name}");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match p.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(tuple_arity(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = p.next() else {
+                panic!("expected enum body for {name}");
+            };
+            Item::Enum { name, variants: parse_variants(g.stream()) }
+        }
+        other => panic!("derive stub supports only struct/enum, got {other}"),
+    }
+}
+
+fn default_expr(name: &str, ty_name: &str, d: &Option<DefaultAttr>) -> String {
+    match d {
+        Some(DefaultAttr::Std) => "::core::default::Default::default()".to_string(),
+        Some(DefaultAttr::Path(p)) => format!("{p}()"),
+        None => format!(
+            "return ::core::result::Result::Err(::serde::Error::custom(\
+             \"missing field `{name}` in {ty_name}\"))"
+        ),
+    }
+}
+
+/// Serialize expression for a named-field set reachable through `prefix`
+/// (e.g. `&self.` for structs, `` for bound match variables).
+fn ser_named(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::serialize({a}))",
+                n = f.name,
+                a = access(&f.name)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn de_named(ty: &str, ctor: &str, fields: &[Field], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{n}: match ::serde::value_get({src}, \"{n}\") {{ \
+                   ::core::option::Option::Some(x) => ::serde::Deserialize::deserialize(x)?, \
+                   ::core::option::Option::None => {d}, \
+                 }}",
+                n = f.name,
+                d = default_expr(&f.name, ty, &f.default)
+            )
+        })
+        .collect();
+    format!("::core::result::Result::Ok({ctor} {{ {} }})", inits.join(", "))
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, shape } => {
+            let expr = match &shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => ser_named(fields, |f| format!("&self.{f}")),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn serialize(&self) -> ::serde::Value {{ {expr} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::serialize(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({bl}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {inner})]),",
+                                bl = binds.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = ser_named(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vn} {{ {bl} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {inner})]),",
+                                bl = binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn serialize(&self) -> ::serde::Value {{ \
+                     match self {{ {} }} \
+                   }} \
+                 }}",
+                arms.join(" ")
+            )
+        }
+    };
+    body.parse().expect("derived Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, shape } => {
+            let expr = match &shape {
+                Shape::Unit => format!("::core::result::Result::Ok({name})"),
+                Shape::Tuple(1) => format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::deserialize(&s[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let s = v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                         \"expected sequence for {name}\"))?; \
+                         if s.len() != {n} {{ return ::core::result::Result::Err(\
+                         ::serde::Error::custom(\"wrong tuple arity for {name}\")); }} \
+                         ::core::result::Result::Ok({name}({items})) }}",
+                        items = items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let inner = de_named(&name, &name, fields, "m");
+                    format!(
+                        "{{ let m = v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                         \"expected map for {name}\"))?; {inner} }}"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn deserialize(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ \
+                     {expr} \
+                   }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize(inner)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::deserialize(&s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let s = inner.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected sequence for {name}::{vn}\"))?; \
+                                 if s.len() != {n} {{ return ::core::result::Result::Err(\
+                                 ::serde::Error::custom(\"wrong arity for {name}::{vn}\")); }} \
+                                 ::core::result::Result::Ok({name}::{vn}({items})) }}",
+                                items = items.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let ctor = format!("{name}::{vn}");
+                            let inner_expr = de_named(&name, &ctor, fields, "mm");
+                            Some(format!(
+                                "\"{vn}\" => {{ let mm = inner.as_map().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected map for {name}::{vn}\"))?; \
+                                 {inner_expr} }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn deserialize(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ \
+                     if let ::core::option::Option::Some(s) = v.as_str() {{ \
+                       return match s {{ {unit} \
+                         other => ::core::result::Result::Err(::serde::Error::custom(\
+                           ::std::format!(\"unknown {name} variant {{other}}\"))), }}; \
+                     }} \
+                     let m = v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                       \"expected string or map for {name}\"))?; \
+                     if m.len() != 1 {{ return ::core::result::Result::Err(\
+                       ::serde::Error::custom(\"expected single-key map for {name}\")); }} \
+                     let (k, inner) = &m[0]; \
+                     let _ = inner; \
+                     match k.as_str() {{ {payload} \
+                       other => ::core::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown {name} variant {{other}}\"))), }} \
+                   }} \
+                 }}",
+                unit = unit_arms.join(" "),
+                payload = payload_arms.join(" ")
+            )
+        }
+    };
+    body.parse().expect("derived Deserialize impl must parse")
+}
