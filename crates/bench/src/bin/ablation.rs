@@ -12,23 +12,29 @@
 //! * stream-prefetch depth — the memory substrate SAVE sits on;
 //! * mixed-precision forwarding overlap (§V-B).
 
-use save_bench::{print_table, SweepSession};
+use save_bench::print_table;
 use save_core::CoreConfig;
 use save_kernels::{Phase, Precision};
-use save_sim::runner::run_kernel_custom;
-use save_sim::MachineConfig;
+use save_sim::runner::run_kernel_custom_cancel;
+use save_sim::{MachineConfig, SimError};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    save_bench::run_main("ablation", body)
+}
+
+fn body(
+    _cli: &save_bench::BenchCli,
+    session: &mut save_bench::SweepSession,
+) -> Result<(), SimError> {
     let machine = MachineConfig::default();
-    let Some(shape) = save_kernels::shapes::conv_by_name("ResNet3_2") else {
-        eprintln!("ablation: ResNet3_2 missing from the shape table");
-        return ExitCode::from(1);
-    };
+    let shape = save_kernels::shapes::conv_by_name("ResNet3_2").ok_or_else(|| {
+        SimError::InvalidConfig { what: "ablation: ResNet3_2 missing from the shape table".into() }
+    })?;
     let fwd = shape.workload(Phase::Forward, Precision::F32).with_sparsity(0.0, 0.6);
-    let mut session = SweepSession::new("ablation");
-    let base_time = session.seconds("baseline fwd", || {
-        Ok(run_kernel_custom(&fwd, &CoreConfig::baseline(), &machine, 1, false)?.seconds)
+    let base_time = session.seconds("baseline fwd", |tok| {
+        Ok(run_kernel_custom_cancel(&fwd, &CoreConfig::baseline(), &machine, 1, false, Some(tok))?
+            .seconds)
     });
 
     // 1. RS size: the combination window is RS-bound until the 32-register
@@ -36,8 +42,8 @@ fn main() -> ExitCode {
     let mut rows = Vec::new();
     for rs in [24usize, 48, 64, 97, 128] {
         let cfg = CoreConfig { rs_entries: rs, ..CoreConfig::save_2vpu() };
-        let Some(r) = session.run(&format!("rs={rs}"), || {
-            run_kernel_custom(&fwd, &cfg, &machine, 1, false)
+        let Some(r) = session.run(&format!("rs={rs}"), |tok| {
+            run_kernel_custom_cancel(&fwd, &cfg, &machine, 1, false, Some(tok))
         }) else {
             continue;
         };
@@ -58,9 +64,9 @@ fn main() -> ExitCode {
     for width in [3usize, 4, 5, 6] {
         let cfg = CoreConfig { issue_width: width, commit_width: width, ..CoreConfig::save_2vpu() };
         let base = CoreConfig { issue_width: width, commit_width: width, ..CoreConfig::baseline() };
-        let speedup = session.seconds(&format!("width={width}"), || {
-            let tb = run_kernel_custom(&fwd, &base, &machine, 1, false)?.seconds;
-            let ts = run_kernel_custom(&fwd, &cfg, &machine, 1, false)?.seconds;
+        let speedup = session.seconds(&format!("width={width}"), |tok| {
+            let tb = run_kernel_custom_cancel(&fwd, &base, &machine, 1, false, Some(tok))?.seconds;
+            let ts = run_kernel_custom_cancel(&fwd, &cfg, &machine, 1, false, Some(tok))?.seconds;
             Ok(tb / ts)
         });
         rows.push(vec![format!("{width}-wide"), format!("{speedup:.2}x")]);
@@ -75,15 +81,18 @@ fn main() -> ExitCode {
     let wgrad = shape.workload(Phase::BackwardWeights, Precision::F32).with_sparsity(0.4, 0.4);
     let mut base_machine = machine;
     base_machine.mem.bcast = None;
-    let tb = session.seconds("baseline wgrad", || {
-        Ok(run_kernel_custom(&wgrad, &CoreConfig::baseline(), &base_machine, 1, false)?.seconds)
+    let tb = session.seconds("baseline wgrad", |tok| {
+        Ok(run_kernel_custom_cancel(
+            &wgrad, &CoreConfig::baseline(), &base_machine, 1, false, Some(tok),
+        )?
+        .seconds)
     });
     let mut rows = Vec::new();
     for entries in [4usize, 8, 16, 32, 64] {
         let mut m = machine;
         m.mem.bcast_entries = entries;
-        let Some(r) = session.run(&format!("bcast={entries}"), || {
-            run_kernel_custom(&wgrad, &CoreConfig::save_2vpu(), &m, 1, false)
+        let Some(r) = session.run(&format!("bcast={entries}"), |tok| {
+            run_kernel_custom_cancel(&wgrad, &CoreConfig::save_2vpu(), &m, 1, false, Some(tok))
         }) else {
             continue;
         };
@@ -109,9 +118,13 @@ fn main() -> ExitCode {
     for depth in [0u64, 8, 16, 64] {
         let mut m = machine;
         m.mem.prefetch_degree = depth;
-        let Some((tbb, ts)) = session.run(&format!("prefetch={depth}"), || {
-            let tbb = run_kernel_custom(&fwd, &CoreConfig::baseline(), &m, 1, false)?.seconds;
-            let ts = run_kernel_custom(&fwd, &CoreConfig::save_2vpu(), &m, 1, false)?.seconds;
+        let Some((tbb, ts)) = session.run(&format!("prefetch={depth}"), |tok| {
+            let tbb =
+                run_kernel_custom_cancel(&fwd, &CoreConfig::baseline(), &m, 1, false, Some(tok))?
+                    .seconds;
+            let ts =
+                run_kernel_custom_cancel(&fwd, &CoreConfig::save_2vpu(), &m, 1, false, Some(tok))?
+                    .seconds;
             Ok((tbb, ts))
         }) else {
             continue;
@@ -129,19 +142,19 @@ fn main() -> ExitCode {
     );
 
     // 5. MP partial-result forwarding overlap (§V-B).
-    let Some(mp_shape) = save_kernels::shapes::conv_by_name("ResNet4_1a") else {
-        eprintln!("ablation: ResNet4_1a missing from the shape table");
-        return ExitCode::from(1);
-    };
+    let mp_shape = save_kernels::shapes::conv_by_name("ResNet4_1a").ok_or_else(|| {
+        SimError::InvalidConfig { what: "ablation: ResNet4_1a missing from the shape table".into() }
+    })?;
     let mp = mp_shape.workload(Phase::BackwardInput, Precision::Mixed).with_sparsity(0.0, 0.6);
-    let tb = session.seconds("baseline mp", || {
-        Ok(run_kernel_custom(&mp, &CoreConfig::baseline(), &machine, 1, false)?.seconds)
+    let tb = session.seconds("baseline mp", |tok| {
+        Ok(run_kernel_custom_cancel(&mp, &CoreConfig::baseline(), &machine, 1, false, Some(tok))?
+            .seconds)
     });
     let mut rows = Vec::new();
     for overlap in [0u64, 1, 2, 3] {
         let cfg = CoreConfig { mp_forward_overlap: overlap, ..CoreConfig::save_1vpu() };
-        let ts = session.seconds(&format!("overlap={overlap}"), || {
-            Ok(run_kernel_custom(&mp, &cfg, &machine, 1, false)?.seconds)
+        let ts = session.seconds(&format!("overlap={overlap}"), |tok| {
+            Ok(run_kernel_custom_cancel(&mp, &cfg, &machine, 1, false, Some(tok))?.seconds)
         });
         rows.push(vec![format!("{overlap} cycles"), format!("{:.2}x", tb / ts)]);
     }
@@ -150,5 +163,5 @@ fn main() -> ExitCode {
         &["overlap", "speedup"],
         &rows,
     );
-    session.finish()
+    Ok(())
 }

@@ -9,10 +9,10 @@
 //!    to NBS — exactly the reduction SAVE makes in computation, lifting the
 //!    bandwidth cap of memory-bound (LSTM-like) kernels.
 
-use save_bench::{print_table, HarnessArgs, SweepSession};
+use save_bench::print_table;
 use save_kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision};
-use save_sim::runner::run_kernel;
-use save_sim::{ConfigKind, MachineConfig};
+use save_sim::runner::run_kernel_cancel;
+use save_sim::{ConfigKind, MachineConfig, SimError};
 use std::process::ExitCode;
 
 fn explicit_spec() -> GemmKernelSpec {
@@ -25,10 +25,15 @@ fn explicit_spec() -> GemmKernelSpec {
 }
 
 fn main() -> ExitCode {
-    let args = HarnessArgs::parse();
-    let grid = args.grid();
+    save_bench::run_main("extensions", body)
+}
+
+fn body(
+    cli: &save_bench::BenchCli,
+    session: &mut save_bench::SweepSession,
+) -> Result<(), SimError> {
+    let grid = cli.grid();
     let machine = MachineConfig::default();
-    let mut session = SweepSession::new("extensions");
 
     // 1. SparseTrain-style software skipping vs / with SAVE, across BS,
     // under uniform-random and clustered (ReLU-like) sparsity.
@@ -48,9 +53,11 @@ fn main() -> ExitCode {
             };
             let w = GemmWorkload { software_bs_skip: software, ..plain.clone() };
             let seed = (bs * 100.0) as u64;
-            let speedup = session.seconds(&format!("{label} bs={bs:.1}"), || {
-                let tb = run_kernel(&plain, ConfigKind::Baseline, &machine, seed, false)?.seconds;
-                let ts = run_kernel(&w, kind, &machine, seed, false)?.seconds;
+            let speedup = session.seconds(&format!("{label} bs={bs:.1}"), |tok| {
+                let tb =
+                    run_kernel_cancel(&plain, ConfigKind::Baseline, &machine, seed, false, Some(tok))?
+                        .seconds;
+                let ts = run_kernel_cancel(&w, kind, &machine, seed, false, Some(tok))?.seconds;
                 Ok(tb / ts)
             });
             row.push(format!("{speedup:.2}"));
@@ -82,12 +89,15 @@ fn main() -> ExitCode {
         let mut row = vec![label.to_string()];
         for &nbs in &grid {
             let seed = (nbs * 100.0) as u64;
-            let speedup = session.seconds(&format!("{label} nbs={nbs:.1}"), || {
-                let tb =
-                    run_kernel(&streaming(nbs, false), ConfigKind::Baseline, &machine, seed, false)?
-                        .seconds;
-                let ts =
-                    run_kernel(&streaming(nbs, compressed), kind, &machine, seed, false)?.seconds;
+            let speedup = session.seconds(&format!("{label} nbs={nbs:.1}"), |tok| {
+                let tb = run_kernel_cancel(
+                    &streaming(nbs, false), ConfigKind::Baseline, &machine, seed, false, Some(tok),
+                )?
+                .seconds;
+                let ts = run_kernel_cancel(
+                    &streaming(nbs, compressed), kind, &machine, seed, false, Some(tok),
+                )?
+                .seconds;
                 Ok(tb / ts)
             });
             row.push(format!("{speedup:.2}"));
@@ -107,5 +117,5 @@ fn main() -> ExitCode {
     println!("while SAVE is insensitive to sparsity structure; and ZCOMP keeps");
     println!("memory-bound kernels scaling with NBS where SAVE alone hits the");
     println!("bandwidth roof (§VIII).");
-    session.finish()
+    Ok(())
 }

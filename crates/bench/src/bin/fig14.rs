@@ -8,9 +8,9 @@
 //! (dense VGG16), 1.37x (dense ResNet-50), 1.59x (pruned ResNet-50), 1.39x
 //! (pruned GNMT); end-to-end training 1.64x / 1.29x / 1.42x / 1.28x.
 
-use save_bench::{print_table, HarnessArgs, SweepSession};
+use save_bench::print_table;
 use save_kernels::Precision;
-use save_sim::{Estimator, EstimatorConfig, Network};
+use save_sim::{Estimator, EstimatorConfig, EstimatorDurability, Network};
 use save_sparsity::NetKind;
 use serde::Serialize;
 use std::process::ExitCode;
@@ -28,10 +28,27 @@ struct NetResult {
 }
 
 fn main() -> ExitCode {
-    let args = HarnessArgs::parse();
-    let cfg = EstimatorConfig { grid: args.grid(), ..Default::default() };
-    let est = Estimator::new(cfg);
-    let mut session = SweepSession::new("fig14");
+    save_bench::run_main("fig14", body)
+}
+
+fn body(
+    cli: &save_bench::BenchCli,
+    session: &mut save_bench::SweepSession,
+) -> Result<(), save_sim::SimError> {
+    let cfg = EstimatorConfig { grid: cli.grid(), ..Default::default() };
+    // Surface sweeps inherit the session's durable-execution settings:
+    // each distinct surface journals under a content-addressed
+    // subdirectory of --checkpoint-dir (None still gives deadlines,
+    // retries and cancellation without journaling).
+    let est = Estimator::durable(
+        cfg,
+        EstimatorDurability {
+            checkpoint_dir: cli.checkpoint_dir.clone(),
+            resume: cli.resume,
+            policy: cli.policy(),
+            supervisor: session.supervisor().clone(),
+        },
+    );
 
     let kinds = [
         NetKind::Vgg16Dense,
@@ -49,7 +66,7 @@ fn main() -> ExitCode {
             let net = Network::build(kind);
             eprintln!("[fig14] estimating {} {prec}...", kind.label());
             let label = format!("{} {prec}", kind.label());
-            let Some((inf, tr)) = session.run(&label, || {
+            let Some((inf, tr)) = session.run(&label, |_tok| {
                 Ok((est.estimate_inference(&net, prec)?, est.estimate_training(&net, prec)?))
             }) else {
                 continue;
@@ -118,9 +135,5 @@ fn main() -> ExitCode {
         "                     training  1.64x        / 1.29x          / 1.42x           / 1.28x"
     );
     println!("surfaces swept: {}", est.surfaces_built());
-    if let Err(e) = save_bench::write_json("fig14", &results) {
-        eprintln!("fig14: {e}");
-        return ExitCode::from(1);
-    }
-    session.finish()
+    save_bench::write_json("fig14", &results)
 }

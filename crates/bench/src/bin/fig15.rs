@@ -6,10 +6,10 @@
 //! either sparsity type reaches ~60%; 1 VPU is 29% slower when dense,
 //! reaches ~1.96x, and overtakes 2 VPUs past ~70% sparsity.
 
-use save_bench::{print_table, HarnessArgs, SweepSession};
+use save_bench::print_table;
 use save_kernels::{Phase, Precision};
-use save_sim::runner::run_kernel;
-use save_sim::{ConfigKind, MachineConfig};
+use save_sim::runner::run_kernel_cancel;
+use save_sim::{ConfigKind, MachineConfig, SimError};
 use serde::Serialize;
 use std::process::ExitCode;
 
@@ -24,15 +24,19 @@ struct Cell {
 }
 
 fn main() -> ExitCode {
-    let args = HarnessArgs::parse();
-    let grid = args.grid();
-    let Some(shape) = save_kernels::shapes::conv_by_name("ResNet2_2") else {
-        eprintln!("fig15: ResNet2_2 missing from the shape table");
-        return ExitCode::from(1);
-    };
+    save_bench::run_main("fig15", body)
+}
+
+fn body(
+    cli: &save_bench::BenchCli,
+    session: &mut save_bench::SweepSession,
+) -> Result<(), SimError> {
+    let grid = cli.grid();
+    let shape = save_kernels::shapes::conv_by_name("ResNet2_2").ok_or_else(|| {
+        SimError::InvalidConfig { what: "fig15: ResNet2_2 missing from the shape table".into() }
+    })?;
     let w0 = shape.workload(Phase::Forward, Precision::Mixed);
     let machine = MachineConfig::default();
-    let mut session = SweepSession::new("fig15");
 
     let mut cells = Vec::new();
     let mut rows2 = Vec::new();
@@ -43,13 +47,16 @@ fn main() -> ExitCode {
         for &bs in &grid {
             let w = w0.clone().with_sparsity(bs, nbs);
             let seed = ((bs * 100.0) as u64) << 8 | (nbs * 100.0) as u64;
-            let label = format!("bs={bs:.1} nbs={nbs:.1}");
-            let tb = session
-                .seconds(&label, || Ok(run_kernel(&w, ConfigKind::Baseline, &machine, seed, false)?.seconds));
-            let t2 = session
-                .seconds(&label, || Ok(run_kernel(&w, ConfigKind::Save2Vpu, &machine, seed, false)?.seconds));
-            let t1 = session
-                .seconds(&label, || Ok(run_kernel(&w, ConfigKind::Save1Vpu, &machine, seed, false)?.seconds));
+            // One journal cell per (sparsity point, operating point): the
+            // config is part of the label so resume keys never collide.
+            let mut time = |kind: ConfigKind| {
+                session.seconds(&format!("bs={bs:.1} nbs={nbs:.1} {}", kind.label()), |tok| {
+                    Ok(run_kernel_cancel(&w, kind, &machine, seed, false, Some(tok))?.seconds)
+                })
+            };
+            let tb = time(ConfigKind::Baseline);
+            let t2 = time(ConfigKind::Save2Vpu);
+            let t1 = time(ConfigKind::Save1Vpu);
             r2.push(format!("{:.2}", tb / t2));
             r1.push(format!("{:.2}", tb / t1));
             cells.push(Cell { bs, nbs, speedup_2vpu: tb / t2, speedup_1vpu: tb / t1 });
@@ -62,10 +69,7 @@ fn main() -> ExitCode {
     let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     print_table("Fig 15a: ResNet2_2 MP fwd speedup, 2 VPUs @ 1.7GHz", &hrefs, &rows2);
     print_table("Fig 15b: ResNet2_2 MP fwd speedup, 1 VPU @ 2.1GHz", &hrefs, &rows1);
-    if let Err(e) = save_bench::write_json("fig15", &cells) {
-        eprintln!("fig15: {e}");
-        return ExitCode::from(1);
-    }
+    save_bench::write_json("fig15", &cells)?;
 
     let max2 = cells.iter().map(|c| c.speedup_2vpu).fold(0.0f64, f64::max);
     let max1 = cells.iter().map(|c| c.speedup_1vpu).fold(0.0f64, f64::max);
@@ -76,5 +80,5 @@ fn main() -> ExitCode {
         .unwrap_or(f64::NAN);
     println!("\nlandmarks: 2-VPU cap {max2:.2}x (paper ~1.49x); 1-VPU max {max1:.2}x (paper ~1.96x);");
     println!("           1-VPU dense {dense1:.2}x (paper ~0.71x, i.e. 29% slowdown)");
-    session.finish()
+    Ok(())
 }

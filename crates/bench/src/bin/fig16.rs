@@ -12,10 +12,10 @@
 //! 1.62x (1 VPU); MP 1.48x / 1.77x; using 1 VPU at higher frequency lifts
 //! the caps; LSTM kernels cap lower than conv kernels (memory bound).
 
-use save_bench::{print_table, HarnessArgs, SweepSession};
+use save_bench::print_table;
 use save_kernels::{GemmWorkload, Phase, Precision};
-use save_sim::runner::run_kernel;
-use save_sim::{ConfigKind, MachineConfig};
+use save_sim::runner::run_kernel_cancel;
+use save_sim::{ConfigKind, MachineConfig, SimError};
 use serde::Serialize;
 use std::process::ExitCode;
 
@@ -96,11 +96,16 @@ struct CapRecord {
 }
 
 fn main() -> ExitCode {
-    let args = HarnessArgs::parse();
+    save_bench::run_main("fig16", body)
+}
+
+fn body(
+    cli: &save_bench::BenchCli,
+    session: &mut save_bench::SweepSession,
+) -> Result<(), SimError> {
     let corners: Vec<(f64, f64)> =
-        if args.quick { vec![(0.8, 0.8)] } else { vec![(0.6, 0.6), (0.8, 0.8), (0.9, 0.9)] };
+        if cli.quick { vec![(0.8, 0.8)] } else { vec![(0.6, 0.6), (0.8, 0.8), (0.9, 0.9)] };
     let machine = MachineConfig::default();
-    let mut session = SweepSession::new("fig16");
     let set = kernel_set();
     println!("kernel set: {} kernels ({} conv, {} LSTM)",
         set.len(),
@@ -117,9 +122,10 @@ fn main() -> ExitCode {
                     let w = w0.clone().with_sparsity(a, b);
                     let seed = 1000 + i as u64;
                     let label = format!("{} {prec} {vpus}vpu corner{i}", k.name);
-                    let ratio = session.seconds(&label, || {
-                        let tb = run_kernel(&w, ConfigKind::Baseline, &machine, seed, false)?.seconds;
-                        let ts = run_kernel(&w, kind, &machine, seed, false)?.seconds;
+                    let ratio = session.seconds(&label, |tok| {
+                        let tb = run_kernel_cancel(&w, ConfigKind::Baseline, &machine, seed, false, Some(tok))?
+                            .seconds;
+                        let ts = run_kernel_cancel(&w, kind, &machine, seed, false, Some(tok))?.seconds;
                         Ok(tb / ts)
                     });
                     if ratio.is_finite() {
@@ -175,9 +181,5 @@ fn main() -> ExitCode {
         &["panel", "1.0-1.2x", "1.2-1.4x", "1.4-1.6x", "1.6-1.8x", "1.8-2.0x", ">2.0x", "geomean"],
         &rows,
     );
-    if let Err(e) = save_bench::write_json("fig16", &records) {
-        eprintln!("fig16: {e}");
-        return ExitCode::from(1);
-    }
-    session.finish()
+    save_bench::write_json("fig16", &records)
 }

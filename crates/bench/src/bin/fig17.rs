@@ -7,12 +7,12 @@
 //! designs help as BS grows; only the data design keeps improving with NBS
 //! (the mask design still burns an L1-D port on non-zero broadcasts).
 
-use save_bench::{print_table, HarnessArgs, SweepSession};
+use save_bench::print_table;
 use save_core::CoreConfig;
 use save_kernels::{Phase, Precision};
 use save_mem::BcastDesign;
-use save_sim::runner::run_kernel_custom;
-use save_sim::MachineConfig;
+use save_sim::runner::run_kernel_custom_cancel;
+use save_sim::{MachineConfig, SimError};
 use serde::Serialize;
 use std::process::ExitCode;
 
@@ -27,15 +27,19 @@ struct Point {
 }
 
 fn main() -> ExitCode {
-    let args = HarnessArgs::parse();
-    let grid = args.grid();
-    let Some(shape) = save_kernels::shapes::conv_by_name("ResNet3_2") else {
-        eprintln!("fig17: ResNet3_2 missing from the shape table");
-        return ExitCode::from(1);
-    };
+    save_bench::run_main("fig17", body)
+}
+
+fn body(
+    cli: &save_bench::BenchCli,
+    session: &mut save_bench::SweepSession,
+) -> Result<(), SimError> {
+    let grid = cli.grid();
+    let shape = save_kernels::shapes::conv_by_name("ResNet3_2").ok_or_else(|| {
+        SimError::InvalidConfig { what: "fig17: ResNet3_2 missing from the shape table".into() }
+    })?;
     let w0 = shape.workload(Phase::BackwardWeights, Precision::F32);
     assert_eq!(w0.spec.pattern, save_kernels::BroadcastPattern::Embedded);
-    let mut session = SweepSession::new("fig17");
 
     let designs: [(&str, Option<BcastDesign>); 3] =
         [("No B$", None), ("B$ w/ masks", Some(BcastDesign::Masks)), ("B$ w/ data", Some(BcastDesign::Data))];
@@ -54,11 +58,15 @@ fn main() -> ExitCode {
                 let mut base_machine = MachineConfig::default();
                 base_machine.mem.bcast = None;
                 let cell = format!("{label} bs={bs:.1} nbs={nbs:.1}");
-                let speedup = session.seconds(&cell, || {
-                    let tb = run_kernel_custom(&w, &CoreConfig::baseline(), &base_machine, seed, false)?
-                        .seconds;
-                    let ts =
-                        run_kernel_custom(&w, &CoreConfig::save_2vpu(), &machine, seed, false)?.seconds;
+                let speedup = session.seconds(&cell, |tok| {
+                    let tb = run_kernel_custom_cancel(
+                        &w, &CoreConfig::baseline(), &base_machine, seed, false, Some(tok),
+                    )?
+                    .seconds;
+                    let ts = run_kernel_custom_cancel(
+                        &w, &CoreConfig::save_2vpu(), &machine, seed, false, Some(tok),
+                    )?
+                    .seconds;
                     Ok(tb / ts)
                 });
                 row.push(format!("{speedup:.2}"));
@@ -71,9 +79,5 @@ fn main() -> ExitCode {
     headers.extend(grid.iter().map(|b| format!("NBS {:.0}%", b * 100.0)));
     let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     print_table("Fig 17: ResNet3_2 FP32 bwd-weights (embedded broadcast), 2 VPUs", &hrefs, &rows);
-    if let Err(e) = save_bench::write_json("fig17", &points) {
-        eprintln!("fig17: {e}");
-        return ExitCode::from(1);
-    }
-    session.finish()
+    save_bench::write_json("fig17", &points)
 }

@@ -10,11 +10,11 @@
 //! RVC; RVC+LWD is best everywhere; HC wins slightly at medium sparsity but
 //! loses at high sparsity where its extra latency bites.
 
-use save_bench::{print_table, HarnessArgs, SweepSession};
+use save_bench::print_table;
 use save_core::{CoreConfig, SchedulerKind};
 use save_kernels::{Phase, Precision};
-use save_sim::runner::run_kernel_custom;
-use save_sim::MachineConfig;
+use save_sim::runner::run_kernel_custom_cancel;
+use save_sim::{MachineConfig, SimError};
 use serde::Serialize;
 use std::process::ExitCode;
 
@@ -48,16 +48,20 @@ fn techniques() -> Vec<(&'static str, CoreConfig)> {
 }
 
 fn main() -> ExitCode {
-    let args = HarnessArgs::parse();
-    let grid = args.grid();
+    save_bench::run_main("fig18", body)
+}
+
+fn body(
+    cli: &save_bench::BenchCli,
+    session: &mut save_bench::SweepSession,
+) -> Result<(), SimError> {
+    let grid = cli.grid();
     let machine = MachineConfig::default();
-    let mut session = SweepSession::new("fig18");
     let mut points = Vec::new();
     for name in ["ResNet3_2", "ResNet5_1a"] {
-        let Some(shape) = save_kernels::shapes::conv_by_name(name) else {
-            eprintln!("fig18: {name} missing from the shape table");
-            return ExitCode::from(1);
-        };
+        let shape = save_kernels::shapes::conv_by_name(name).ok_or_else(|| {
+            SimError::InvalidConfig { what: format!("fig18: {name} missing from the shape table") }
+        })?;
         let w0 = shape.workload(Phase::BackwardInput, Precision::F32);
         let (m, n) = shape.blocking(Phase::BackwardInput);
         println!(
@@ -73,10 +77,13 @@ fn main() -> ExitCode {
                 let w = w0.clone().with_sparsity(0.0, nbs);
                 let seed = (nbs * 100.0) as u64;
                 let cell = format!("{name} {label} nbs={nbs:.1}");
-                let speedup = session.seconds(&cell, || {
-                    let tb = run_kernel_custom(&w, &CoreConfig::baseline(), &machine, seed, false)?
-                        .seconds;
-                    let ts = run_kernel_custom(&w, &cfg, &machine, seed, false)?.seconds;
+                let speedup = session.seconds(&cell, |tok| {
+                    let tb = run_kernel_custom_cancel(
+                        &w, &CoreConfig::baseline(), &machine, seed, false, Some(tok),
+                    )?
+                    .seconds;
+                    let ts =
+                        run_kernel_custom_cancel(&w, &cfg, &machine, seed, false, Some(tok))?.seconds;
                     Ok(tb / ts)
                 });
                 row.push(format!("{speedup:.2}"));
@@ -98,9 +105,5 @@ fn main() -> ExitCode {
             &rows,
         );
     }
-    if let Err(e) = save_bench::write_json("fig18", &points) {
-        eprintln!("fig18: {e}");
-        return ExitCode::from(1);
-    }
-    session.finish()
+    save_bench::write_json("fig18", &points)
 }

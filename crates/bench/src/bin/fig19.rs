@@ -6,11 +6,11 @@
 //! of its BF16 multiplicand lanes are ineffectual, so exploitable sparsity
 //! is roughly squared; ML compression recovers it at every level.
 
-use save_bench::{print_table, HarnessArgs, SweepSession};
+use save_bench::print_table;
 use save_core::CoreConfig;
 use save_kernels::{Phase, Precision};
-use save_sim::runner::run_kernel_custom;
-use save_sim::MachineConfig;
+use save_sim::runner::run_kernel_custom_cancel;
+use save_sim::{MachineConfig, SimError};
 use serde::Serialize;
 use std::process::ExitCode;
 
@@ -24,15 +24,19 @@ struct Point {
 }
 
 fn main() -> ExitCode {
-    let args = HarnessArgs::parse();
-    let grid = args.grid();
-    let Some(shape) = save_kernels::shapes::conv_by_name("ResNet4_1a") else {
-        eprintln!("fig19: ResNet4_1a missing from the shape table");
-        return ExitCode::from(1);
-    };
+    save_bench::run_main("fig19", body)
+}
+
+fn body(
+    cli: &save_bench::BenchCli,
+    session: &mut save_bench::SweepSession,
+) -> Result<(), SimError> {
+    let grid = cli.grid();
+    let shape = save_kernels::shapes::conv_by_name("ResNet4_1a").ok_or_else(|| {
+        SimError::InvalidConfig { what: "fig19: ResNet4_1a missing from the shape table".into() }
+    })?;
     let w0 = shape.workload(Phase::BackwardInput, Precision::Mixed);
     let machine = MachineConfig::default();
-    let mut session = SweepSession::new("fig19");
 
     let mut points = Vec::new();
     let mut rows = Vec::new();
@@ -43,10 +47,13 @@ fn main() -> ExitCode {
             let w = w0.clone().with_sparsity(0.0, nbs);
             let seed = (nbs * 100.0) as u64;
             let cell = format!("{label} nbs={nbs:.1}");
-            let speedup = session.seconds(&cell, || {
-                let tb =
-                    run_kernel_custom(&w, &CoreConfig::baseline(), &machine, seed, false)?.seconds;
-                let ts = run_kernel_custom(&w, &cfg, &machine, seed, false)?.seconds;
+            let speedup = session.seconds(&cell, |tok| {
+                let tb = run_kernel_custom_cancel(
+                    &w, &CoreConfig::baseline(), &machine, seed, false, Some(tok),
+                )?
+                .seconds;
+                let ts =
+                    run_kernel_custom_cancel(&w, &cfg, &machine, seed, false, Some(tok))?.seconds;
                 Ok(tb / ts)
             });
             row.push(format!("{speedup:.2}"));
@@ -58,9 +65,5 @@ fn main() -> ExitCode {
     headers.extend(grid.iter().map(|b| format!("NBS {:.0}%", b * 100.0)));
     let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     print_table("Fig 19: ResNet4_1a MP bwd-input, 1 VPU, speedup over 2-VPU baseline", &hrefs, &rows);
-    if let Err(e) = save_bench::write_json("fig19", &points) {
-        eprintln!("fig19: {e}");
-        return ExitCode::from(1);
-    }
-    session.finish()
+    save_bench::write_json("fig19", &points)
 }

@@ -4,10 +4,10 @@
 //!
 //! Usage: `netreport [vgg16|resnet50|resnet50-pruned|gnmt] [--mp]`
 
-use save_bench::{print_table, SweepSession};
+use save_bench::print_table;
 use save_kernels::{Phase, Precision};
-use save_sim::runner::run_kernel;
-use save_sim::{ConfigKind, MachineConfig, Network};
+use save_sim::runner::run_kernel_cancel;
+use save_sim::{ConfigKind, MachineConfig, Network, SimError};
 use save_sparsity::NetKind;
 use std::process::ExitCode;
 
@@ -21,18 +21,23 @@ struct LayerRow {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let kind = match args.get(1).map(|s| s.as_str()) {
+    save_bench::run_main("netreport", body)
+}
+
+fn body(
+    cli: &save_bench::BenchCli,
+    session: &mut save_bench::SweepSession,
+) -> Result<(), SimError> {
+    let kind = match cli.rest.first().map(|s| s.as_str()) {
         Some("vgg16") => NetKind::Vgg16Dense,
         Some("resnet50") => NetKind::ResNet50Dense,
         Some("gnmt") => NetKind::GnmtPruned,
         _ => NetKind::ResNet50Pruned,
     };
     let precision =
-        if args.iter().any(|a| a == "--mp") { Precision::Mixed } else { Precision::F32 };
+        if cli.rest.iter().any(|a| a == "--mp") { Precision::Mixed } else { Precision::F32 };
     let machine = MachineConfig::default();
     let net = Network::build(kind);
-    let mut session = SweepSession::new("netreport");
 
     let mut layers = Vec::new();
     for (li, layer) in net.layers.iter().enumerate() {
@@ -40,10 +45,14 @@ fn main() -> ExitCode {
         let w = layer.workload(Phase::Forward, precision);
         let scale = layer.flops() / w.flops();
         let w = w.with_sparsity(p.a, p.b);
-        let Some((tb, t2, t1)) = session.run(layer.name(), || {
-            let tb = run_kernel(&w, ConfigKind::Baseline, &machine, li as u64, false)?.seconds;
-            let t2 = run_kernel(&w, ConfigKind::Save2Vpu, &machine, li as u64, false)?.seconds;
-            let t1 = run_kernel(&w, ConfigKind::Save1Vpu, &machine, li as u64, false)?.seconds;
+        let Some((tb, t2, t1)) = session.run(layer.name(), |tok| {
+            let seed = li as u64;
+            let tb =
+                run_kernel_cancel(&w, ConfigKind::Baseline, &machine, seed, false, Some(tok))?.seconds;
+            let t2 =
+                run_kernel_cancel(&w, ConfigKind::Save2Vpu, &machine, seed, false, Some(tok))?.seconds;
+            let t1 =
+                run_kernel_cancel(&w, ConfigKind::Save1Vpu, &machine, seed, false, Some(tok))?.seconds;
             Ok((tb * scale, t2 * scale, t1 * scale))
         }) else {
             continue;
@@ -79,5 +88,5 @@ fn main() -> ExitCode {
         total_b / total_1,
         total_b / total_d
     );
-    session.finish()
+    Ok(())
 }

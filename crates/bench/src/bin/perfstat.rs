@@ -13,10 +13,16 @@
 //! * `--check`    compare against the last committed record of the same
 //!   sweep size and exit non-zero on a >25% throughput regression;
 //! * `--label L`  free-form label stored with the record.
+//!
+//! Each record also stores the `git` revision it was measured at
+//! (`SAVE_GIT_REV` overrides the `git rev-parse` probe for hermetic CI
+//! runs), so the trajectory in `BENCH_PERF.json` can be correlated with
+//! the commits that produced it.
 
 use save_bench::print_table;
 use save_kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision};
-use save_sim::runner::{run_kernel, ConfigKind, MachineConfig, MachineMode};
+use save_sim::runner::{run_kernel, run_kernel_cancel, ConfigKind, MachineConfig, MachineMode};
+use save_sim::{CancelToken, SimError};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,17 +38,42 @@ struct PerfPoint {
     kcycles_per_host_sec: f64,
 }
 
-/// One appended trajectory record.
+/// One appended trajectory record. `git_rev` defaults to empty so records
+/// written before the field existed keep parsing.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct PerfRecord {
     schema: u32,
     label: String,
     quick: bool,
     unix_time: u64,
+    #[serde(default)]
+    git_rev: String,
     points: Vec<PerfPoint>,
     total_cycles: u64,
     total_host_seconds: f64,
     total_kcycles_per_host_sec: f64,
+}
+
+/// The short git revision of the working tree: the `SAVE_GIT_REV`
+/// environment variable when set (hermetic CI), else `git rev-parse
+/// --short HEAD`, else `"unknown"`.
+fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("SAVE_GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Throughput ratio below which `--check` fails (the >25% regression gate).
@@ -85,12 +116,13 @@ fn time_point(
     w: &GemmWorkload,
     kind: ConfigKind,
     machine: &MachineConfig,
-) -> Result<(u64, f64), save_sim::error::SimError> {
+    tok: &CancelToken,
+) -> Result<(u64, f64), SimError> {
     let mut cycles = 0;
     let mut best = f64::INFINITY;
     for _ in 0..REPS {
         let t0 = Instant::now();
-        let r = run_kernel(w, kind, machine, 7, false)?;
+        let r = run_kernel_cancel(w, kind, machine, 7, false, Some(tok))?;
         let host = t0.elapsed().as_secs_f64();
         cycles = r.cycles;
         if host < best {
@@ -100,13 +132,13 @@ fn time_point(
     Ok((cycles, best))
 }
 
-fn measure(quick: bool) -> Result<Vec<PerfPoint>, save_sim::error::SimError> {
+fn measure(quick: bool, tok: &CancelToken) -> Result<Vec<PerfPoint>, SimError> {
     let sym = MachineConfig::default();
     let det = MachineConfig { cores: 4, mode: MachineMode::Detailed, ..MachineConfig::default() };
     let mut points = Vec::new();
     for w in reference_workloads(quick) {
         for kind in ConfigKind::ALL {
-            let (cycles, host) = time_point(&w, kind, &sym)?;
+            let (cycles, host) = time_point(&w, kind, &sym, tok)?;
             points.push(PerfPoint {
                 workload: w.name.clone(),
                 config: kind.label().to_string(),
@@ -119,7 +151,7 @@ fn measure(quick: bool) -> Result<Vec<PerfPoint>, save_sim::error::SimError> {
     // One detailed multicore point: exercises the lockstep interleaving
     // (and its coordinated fast-forward) rather than the symmetric runner.
     let w = &reference_workloads(quick)[1];
-    let (cycles, host) = time_point(w, ConfigKind::Save2Vpu, &det)?;
+    let (cycles, host) = time_point(w, ConfigKind::Save2Vpu, &det, tok)?;
     points.push(PerfPoint {
         workload: format!("{}-4core", w.name),
         config: ConfigKind::Save2Vpu.label().to_string(),
@@ -141,14 +173,21 @@ fn load_trajectory(path: &PathBuf) -> Vec<PerfRecord> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let update = args.iter().any(|a| a == "--update");
-    let check = args.iter().any(|a| a == "--check");
-    let label = args
+    save_bench::run_main("perfstat", body)
+}
+
+fn body(
+    cli: &save_bench::BenchCli,
+    session: &mut save_bench::SweepSession,
+) -> Result<(), SimError> {
+    let quick = cli.quick;
+    let update = cli.rest.iter().any(|a| a == "--update");
+    let check = cli.rest.iter().any(|a| a == "--check");
+    let label = cli
+        .rest
         .iter()
         .position(|a| a == "--label")
-        .and_then(|i| args.get(i + 1).cloned())
+        .and_then(|i| cli.rest.get(i + 1).cloned())
         .unwrap_or_else(|| "perfstat".to_string());
 
     // Warm-up: JIT-free, but first-touch page faults and frequency ramp
@@ -167,12 +206,8 @@ fn main() -> ExitCode {
     .with_sparsity(0.3, 0.3);
     let _ = run_kernel(&warm, ConfigKind::Save2Vpu, &MachineConfig::default(), 7, false);
 
-    let points = match measure(quick) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("[perfstat] reference sweep failed: [{}] {e}", e.kind());
-            return ExitCode::from(1);
-        }
+    let Some(points) = session.run("reference sweep", |tok| measure(quick, tok)) else {
+        return Ok(());
     };
     let total_cycles: u64 = points.iter().map(|p| p.cycles).sum();
     let total_host: f64 = points.iter().map(|p| p.host_seconds).sum();
@@ -185,6 +220,7 @@ fn main() -> ExitCode {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0),
+        git_rev: git_rev(),
         points: points.clone(),
         total_cycles,
         total_host_seconds: total_host,
@@ -215,22 +251,23 @@ fn main() -> ExitCode {
     let path = trajectory_path();
     let mut trajectory = load_trajectory(&path);
 
-    let mut ok = true;
     if check {
         match trajectory.iter().rev().find(|r| r.quick == quick) {
             Some(base) => {
+                let rev = if base.git_rev.is_empty() { "?" } else { &base.git_rev };
                 let ratio = total_kcps / base.total_kcycles_per_host_sec;
                 println!(
-                    "check: {:.0} kcyc/s vs committed {:.0} kcyc/s ({} @ {}) = {ratio:.2}x",
+                    "check: {:.0} kcyc/s vs committed {:.0} kcyc/s ({} @ {} rev {rev}) = {ratio:.2}x",
                     total_kcps, base.total_kcycles_per_host_sec, base.label, base.unix_time,
                 );
                 if ratio < CHECK_FLOOR {
-                    eprintln!(
-                        "[perfstat] FAIL: throughput regressed more than {:.0}% \
-                         ({ratio:.2}x < {CHECK_FLOOR}x baseline)",
-                        (1.0 - CHECK_FLOOR) * 100.0
-                    );
-                    ok = false;
+                    return Err(SimError::Io {
+                        what: format!(
+                            "throughput regressed more than {:.0}% \
+                             ({ratio:.2}x < {CHECK_FLOOR}x baseline)",
+                            (1.0 - CHECK_FLOOR) * 100.0
+                        ),
+                    });
                 }
             }
             None => {
@@ -240,20 +277,11 @@ fn main() -> ExitCode {
     }
     if update {
         trajectory.push(record);
-        match serde_json::to_string_pretty(&trajectory) {
-            Ok(s) => {
-                if let Err(e) = std::fs::write(&path, s + "\n") {
-                    eprintln!("[perfstat] could not write {}: {e}", path.display());
-                    ok = false;
-                } else {
-                    println!("appended record to {}", path.display());
-                }
-            }
-            Err(e) => {
-                eprintln!("[perfstat] serialize failed: {e}");
-                ok = false;
-            }
-        }
+        let s = serde_json::to_string_pretty(&trajectory)
+            .map_err(|e| SimError::Io { what: format!("serialize trajectory: {e}") })?;
+        std::fs::write(&path, s + "\n")
+            .map_err(|e| SimError::Io { what: format!("write {}: {e}", path.display()) })?;
+        println!("appended record to {}", path.display());
     }
-    if ok { ExitCode::SUCCESS } else { ExitCode::from(1) }
+    Ok(())
 }

@@ -4,21 +4,26 @@
 //! claim quantitatively: at high sparsity, disabling one VPU saves energy
 //! at little or no performance cost.
 
-use save_bench::{print_table, SweepSession};
+use save_bench::print_table;
 use save_kernels::{Phase, Precision};
-use save_sim::runner::run_kernel;
-use save_sim::{ConfigKind, MachineConfig, PowerModel};
+use save_sim::runner::run_kernel_cancel;
+use save_sim::{ConfigKind, MachineConfig, PowerModel, SimError};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    save_bench::run_main("power", body)
+}
+
+fn body(
+    _cli: &save_bench::BenchCli,
+    session: &mut save_bench::SweepSession,
+) -> Result<(), SimError> {
     let machine = MachineConfig::default();
     let pm = PowerModel::default();
-    let Some(shape) = save_kernels::shapes::conv_by_name("ResNet3_2") else {
-        eprintln!("power: ResNet3_2 missing from the shape table");
-        return ExitCode::from(1);
-    };
+    let shape = save_kernels::shapes::conv_by_name("ResNet3_2").ok_or_else(|| {
+        SimError::InvalidConfig { what: "power: ResNet3_2 missing from the shape table".into() }
+    })?;
     let w0 = shape.workload(Phase::Forward, Precision::F32);
-    let mut session = SweepSession::new("power");
 
     let mut rows = Vec::new();
     for sparsity in [0.0, 0.3, 0.6, 0.9] {
@@ -27,7 +32,9 @@ fn main() -> ExitCode {
             [(ConfigKind::Baseline, 2), (ConfigKind::Save2Vpu, 2), (ConfigKind::Save1Vpu, 1)]
         {
             let label = format!("{} @ {:.0}%", kind.label(), sparsity * 100.0);
-            let Some(r) = session.run(&label, || run_kernel(&w, kind, &machine, 2, false)) else {
+            let Some(r) =
+                session.run(&label, |tok| run_kernel_cancel(&w, kind, &machine, 2, false, Some(tok)))
+            else {
                 continue;
             };
             let e = pm.estimate(&r, vpus);
@@ -46,11 +53,8 @@ fn main() -> ExitCode {
         &["sparsity", "config", "energy", "mean power", "time", "VPU share"],
         &rows,
     );
-    if let Err(e) = save_bench::write_json("power", &rows) {
-        eprintln!("power: {e}");
-        return ExitCode::from(1);
-    }
+    save_bench::write_json("power", &rows)?;
     println!("\n§IV-D takeaway: at high sparsity the 1-VPU point matches or beats the");
     println!("2-VPU point in time while drawing less power — the frequency boost is free.");
-    session.finish()
+    Ok(())
 }

@@ -19,7 +19,7 @@
 //! readable message with a non-zero exit code.
 
 use save_core::SanitizeLevel;
-use save_sim::runner::{run_kernel, run_kernel_custom};
+use save_sim::runner::{run_kernel_cancel, run_kernel_custom_cancel};
 use save_sim::{ConfigKind, MachineConfig, MachineMode, SimError};
 
 fn usage() -> ! {
@@ -27,7 +27,9 @@ fn usage() -> ! {
         "usage: simulate --spec <workload.json> [--config baseline|save2|save1]\n\
          \x20               [--cores N] [--detailed] [--seed S] [--json]\n\
          \x20               [--sanitize off|periodic[:N]|full]\n\
-         \x20      simulate --example   # print a template workload"
+         \x20      simulate --example   # print a template workload\n\
+         plus the uniform durable flags ({})",
+        save_bench::BENCH_USAGE
     );
     std::process::exit(2)
 }
@@ -47,8 +49,15 @@ fn template() -> save_kernels::GemmWorkload {
     .with_sparsity(0.4, 0.6)
 }
 
-fn main() -> Result<(), SimError> {
-    let args: Vec<String> = std::env::args().collect();
+fn main() -> std::process::ExitCode {
+    save_bench::run_main("simulate", body)
+}
+
+fn body(
+    cli: &save_bench::BenchCli,
+    session: &mut save_bench::SweepSession,
+) -> Result<(), SimError> {
+    let args = &cli.rest;
     if args.iter().any(|a| a == "--example") {
         let s = serde_json::to_string_pretty(&template())
             .map_err(|e| SimError::Io { what: format!("serialize template: {e}") })?;
@@ -90,15 +99,23 @@ fn main() -> Result<(), SimError> {
         None => 1,
     };
 
-    let result = match get("--sanitize") {
-        Some(level) => {
-            let sanitize = SanitizeLevel::parse(&level).map_err(|e| SimError::InvalidConfig {
-                what: format!("--sanitize: {e}"),
-            })?;
+    // The single simulated kernel still runs as a supervised cell, so
+    // `--cell-deadline`, `--retries` and Ctrl-C behave exactly as in the
+    // sweep binaries.
+    let sanitize = match get("--sanitize") {
+        Some(level) => Some(SanitizeLevel::parse(&level).map_err(|e| SimError::InvalidConfig {
+            what: format!("--sanitize: {e}"),
+        })?),
+        None => None,
+    };
+    let Some(result) = session.run(&workload.name.clone(), |tok| match sanitize {
+        Some(sanitize) => {
             let cfg = save_core::CoreConfig { sanitize, ..kind.core_config() };
-            run_kernel_custom(&workload, &cfg, &machine, seed, true)?
+            run_kernel_custom_cancel(&workload, &cfg, &machine, seed, true, Some(tok))
         }
-        None => run_kernel(&workload, kind, &machine, seed, true)?,
+        None => run_kernel_cancel(&workload, kind, &machine, seed, true, Some(tok)),
+    }) else {
+        return Ok(());
     };
     if args.iter().any(|a| a == "--json") {
         let s = serde_json::to_string_pretty(&result)

@@ -1,0 +1,111 @@
+//! surface — standalone durable 2-D sparsity sweep.
+//!
+//! Sweeps one GEMM workload over the (BS x NBS) grid under the durable
+//! execution layer and prints the resulting surface as one JSON line with
+//! `secs_bits` (raw IEEE-754 bits per cell) and the total simulated cycle
+//! count, so two runs can be compared for *bit* identity. This is the
+//! binary the kill-and-resume integration test (and the CI smoke job)
+//! drives: start it with `--checkpoint-dir`, SIGKILL it mid-sweep, rerun
+//! with `--resume`, and the output must equal an uninterrupted run's.
+//!
+//! Usage: `surface [--config baseline|save2|save1] [--cores N] [--k K]
+//! [--tiles T]` plus the uniform durable flags.
+
+use save_bench::{run_main, BenchCli, SweepSession};
+use save_kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision};
+use save_sim::surface::DurableSweep;
+use save_sim::{ConfigKind, MachineConfig, SimError, Surface};
+use serde::Serialize;
+use std::process::ExitCode;
+
+#[derive(Serialize)]
+struct Out {
+    a_levels: Vec<f64>,
+    b_levels: Vec<f64>,
+    /// `f64::to_bits` of each cell's seconds, row-major — bit-comparable.
+    secs_bits: Vec<u64>,
+    total_cycles: u64,
+    resumed: usize,
+}
+
+fn main() -> ExitCode {
+    run_main("surface", body)
+}
+
+fn body(cli: &BenchCli, session: &mut SweepSession) -> Result<(), SimError> {
+    let get = |flag: &str| {
+        cli.rest.iter().position(|a| a == flag).and_then(|i| cli.rest.get(i + 1)).cloned()
+    };
+    let num = |flag: &str, default: u64| -> Result<u64, SimError> {
+        match get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| SimError::InvalidConfig {
+                what: format!("{flag} takes a number, got {v:?}"),
+            }),
+        }
+    };
+    let kind = match get("--config").as_deref() {
+        None | Some("save2") => ConfigKind::Save2Vpu,
+        Some("save1") => ConfigKind::Save1Vpu,
+        Some("baseline") => ConfigKind::Baseline,
+        Some(other) => {
+            return Err(SimError::InvalidConfig {
+                what: format!("unknown config {other} (expected baseline|save2|save1)"),
+            })
+        }
+    };
+    let k_total = num("--k", 64)? as usize;
+    let tiles = num("--tiles", 16)? as usize;
+    let machine = MachineConfig { cores: num("--cores", 4)? as usize, ..Default::default() };
+    let w = GemmWorkload::dense(
+        "surface-cli",
+        GemmKernelSpec {
+            m_tiles: 4,
+            n_vecs: 2,
+            pattern: BroadcastPattern::Explicit,
+            precision: Precision::F32,
+        },
+        k_total,
+        tiles,
+    );
+    let grid = cli.grid();
+
+    // The session's own checkpoint (manifest + label journal) lives at the
+    // root of --checkpoint-dir; the surface sweep journals its cells in a
+    // subdirectory with its own manifest.
+    let sub = cli.checkpoint_dir.as_ref().map(|d| d.join("sweep"));
+    let out = Surface::sweep_durable(
+        &w,
+        kind,
+        &machine,
+        &grid,
+        &grid,
+        cli.threads_or_default(),
+        &DurableSweep {
+            name: "surface".to_string(),
+            checkpoint_dir: sub.as_deref(),
+            resume: cli.resume,
+            policy: cli.policy(),
+            supervisor: session.supervisor(),
+        },
+    )?;
+    if out.cancelled {
+        session.note_cancelled();
+        return Ok(());
+    }
+    for f in out.report.failures {
+        let label = f.label.unwrap_or_else(|| format!("cell {}", f.job));
+        session.note_failure(&label, f.error);
+    }
+    let payload = Out {
+        a_levels: out.surface.a_levels.clone(),
+        b_levels: out.surface.b_levels.clone(),
+        secs_bits: out.surface.secs.iter().map(|s| s.to_bits()).collect(),
+        total_cycles: out.total_cycles,
+        resumed: out.resumed,
+    };
+    let line = serde_json::to_string(&payload)
+        .map_err(|e| SimError::Io { what: format!("serialize surface: {e}") })?;
+    println!("{line}");
+    Ok(())
+}

@@ -24,6 +24,14 @@ use crate::vpu::{VpuOp, VpuPipeline};
 use save_isa::{Program, VecF32, LANES, NUM_VREGS};
 use save_mem::{CoreMemory, Uncore};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// How many cycles a cancellable core runs between checks of its cancel
+/// flag — the "cycle quantum" of cooperative cancellation. An in-flight
+/// run reacts to a cancel request within one quantum (plus at most one
+/// fast-forward jump, which is bounded by the watchdog horizon).
+pub const CANCEL_QUANTUM: u64 = 4096;
 
 /// Result of running a kernel to completion.
 #[derive(Clone, Debug)]
@@ -39,6 +47,10 @@ pub struct RunOutcome {
     /// Set when the sanitizer (or an internal integrity check) detected an
     /// invariant violation — the run is aborted with `completed == false`.
     pub violation: Option<Box<SanitizerReport>>,
+    /// `true` when the run stopped because its cancel flag (see
+    /// [`Core::set_cancel`]) was raised — cooperative cancellation, not a
+    /// stall: `completed == false` and `stall == None`.
+    pub cancelled: bool,
 }
 
 impl RunOutcome {
@@ -100,6 +112,11 @@ pub struct Core {
     ff_inert: bool,
     last_delta: CoreStats,
     ff_next: Option<u64>,
+    // Cooperative cancellation: an optional shared flag polled every
+    // CANCEL_QUANTUM cycles (and after every fast-forward jump). `None`
+    // costs one well-predicted branch per cycle.
+    cancel: Option<Arc<AtomicBool>>,
+    cancel_countdown: u64,
 }
 
 impl Core {
@@ -147,7 +164,44 @@ impl Core {
             ff_inert: false,
             last_delta: CoreStats::default(),
             ff_next: None,
+            cancel: None,
+            cancel_countdown: CANCEL_QUANTUM,
             cfg,
+        }
+    }
+
+    /// Attaches a shared cancel flag. Once the flag is `true`, the run
+    /// stops at the next cycle-quantum boundary ([`CANCEL_QUANTUM`]) with
+    /// an outcome whose `cancelled` field is set. Detached cores (the
+    /// default) never observe cancellation.
+    pub fn set_cancel(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(flag);
+        self.cancel_countdown = CANCEL_QUANTUM;
+    }
+
+    /// Polls the cancel flag on its quantum; returns `true` when the run
+    /// must stop. Relaxed ordering suffices: the flag only ever goes
+    /// false→true and a one-quantum delay is within the contract.
+    fn cancel_due(&mut self) -> bool {
+        let Some(flag) = &self.cancel else { return false };
+        self.cancel_countdown -= 1;
+        if self.cancel_countdown > 0 {
+            return false;
+        }
+        self.cancel_countdown = CANCEL_QUANTUM;
+        flag.load(Ordering::Relaxed)
+    }
+
+    /// The cancelled-run outcome: not completed, no stall diagnosis, no
+    /// violation — cancellation is an external event, not a model failure.
+    fn cancelled_outcome(&mut self) -> RunOutcome {
+        self.finished = true;
+        RunOutcome {
+            stats: self.stats,
+            completed: false,
+            stall: None,
+            violation: None,
+            cancelled: true,
         }
     }
 
@@ -265,6 +319,7 @@ impl Core {
                 completed: true,
                 stall: None,
                 violation: None,
+                cancelled: false,
             });
         }
         let insts = &program.insts;
@@ -617,6 +672,7 @@ impl Core {
                 completed: false,
                 stall: None,
                 violation: Some(Box::new(v)),
+                cancelled: false,
             });
         }
         if self.pend.is_empty() && inst_idx == insts.len() && self.rob.is_empty() {
@@ -626,19 +682,38 @@ impl Core {
                 completed: true,
                 stall: None,
                 violation: None,
+                cancelled: false,
             });
+        }
+        // Cooperative cancellation: checked after the drain test (a program
+        // that just finished reports completion, not cancellation) and only
+        // on its cycle quantum.
+        if self.cancel_due() {
+            return Some(self.cancelled_outcome());
         }
         if self.cycle >= self.cfg.max_cycles {
             self.finished = true;
             let stall = Some(self.stall_diag(StallCause::CycleBudget));
-            return Some(RunOutcome { stats: self.stats, completed: false, stall, violation: None });
+            return Some(RunOutcome {
+                stats: self.stats,
+                completed: false,
+                stall,
+                violation: None,
+                cancelled: false,
+            });
         }
         // Retire-progress watchdog: work is outstanding (the drained case
         // returned above) yet nothing has committed for a long time.
         if self.cycle - self.last_commit_cycle >= self.cfg.watchdog_cycles {
             self.finished = true;
             let stall = Some(self.stall_diag(StallCause::NoCommitProgress));
-            return Some(RunOutcome { stats: self.stats, completed: false, stall, violation: None });
+            return Some(RunOutcome {
+                stats: self.stats,
+                completed: false,
+                stall,
+                violation: None,
+                cancelled: false,
+            });
         }
         None
     }
@@ -722,15 +797,35 @@ impl Core {
         self.stats.add_scaled(&delta, skipped);
         self.cycle = target;
         self.stats.cycles = target;
+        // A jump may cross many cancel quanta; one check on arrival keeps
+        // the reaction bound at (quantum + one jump), and jumps are bounded
+        // by the watchdog horizon.
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Some(self.cancelled_outcome());
+            }
+        }
         if self.cycle >= self.cfg.max_cycles {
             self.finished = true;
             let stall = Some(self.stall_diag(StallCause::CycleBudget));
-            return Some(RunOutcome { stats: self.stats, completed: false, stall, violation: None });
+            return Some(RunOutcome {
+                stats: self.stats,
+                completed: false,
+                stall,
+                violation: None,
+                cancelled: false,
+            });
         }
         if self.cycle - self.last_commit_cycle >= self.cfg.watchdog_cycles {
             self.finished = true;
             let stall = Some(self.stall_diag(StallCause::NoCommitProgress));
-            return Some(RunOutcome { stats: self.stats, completed: false, stall, violation: None });
+            return Some(RunOutcome {
+                stats: self.stats,
+                completed: false,
+                stall,
+                violation: None,
+                cancelled: false,
+            });
         }
         None
     }

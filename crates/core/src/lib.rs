@@ -43,7 +43,7 @@ pub mod trace;
 pub mod uop;
 pub mod vpu;
 
-pub use crate::core::{Core, RunOutcome};
+pub use crate::core::{Core, RunOutcome, CANCEL_QUANTUM};
 pub use config::{CoreConfig, SanitizeLevel, SchedulerKind};
 pub use diag::{StallCause, StallDiag};
 pub use fault::{FaultKind, FaultPlan};

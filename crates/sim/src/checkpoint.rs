@@ -1,0 +1,433 @@
+//! Content-addressed sweep checkpoints: manifest + append-only journal.
+//!
+//! A durable sweep (DESIGN.md §5f) persists two files in its checkpoint
+//! directory:
+//!
+//! * `manifest.json` — a [`SweepManifest`] identifying *what* is being
+//!   swept: sweep name, cell count, and a content fingerprint over the
+//!   kernel, grid, and machine-configuration descriptions. Written
+//!   atomically (temp file + rename) so a crash can never leave a torn
+//!   manifest. On `--resume`, a fingerprint mismatch is a hard error —
+//!   resuming someone else's journal would silently mix results from two
+//!   different experiments.
+//! * `journal.jsonl` — one [`CellRecord`] JSON line per *completed* cell,
+//!   appended and flushed as each cell finishes. Timing results are stored
+//!   as [`f64::to_bits`] (`secs_bits`) so a resumed run reconstructs the
+//!   surface **bit-identically**: no decimal round-trip is involved, and
+//!   the vendored JSON layer keeps integer literals as text.
+//!
+//! A process killed mid-append (SIGKILL) can leave at most one truncated
+//! line at the *end* of the journal; [`Checkpoint::open`] tolerates exactly
+//! that (the cell is simply recomputed) while a malformed line anywhere
+//! else — which no crash can produce — is reported as corruption.
+
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Journal/manifest schema version; bump on incompatible layout changes.
+pub const CHECKPOINT_SCHEMA: u32 = 1;
+
+/// 64-bit FNV-1a over `bytes` — the workspace's dependency-free content
+/// hash. Not cryptographic; it only needs to make accidental manifest
+/// collisions (different kernel/grid/config under one checkpoint dir)
+/// overwhelmingly unlikely.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// FNV-1a over a sequence of parts with a separator byte between them, so
+/// `["ab", "c"]` and `["a", "bc"]` hash differently.
+pub fn fingerprint<I, P>(parts: I) -> u64
+where
+    I: IntoIterator<Item = P>,
+    P: AsRef<[u8]>,
+{
+    let mut buf = Vec::new();
+    for p in parts {
+        buf.extend_from_slice(p.as_ref());
+        buf.push(0x1f);
+    }
+    fnv1a(&buf)
+}
+
+/// Identity of a sweep: what the journal's cell indices mean.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepManifest {
+    /// Layout version ([`CHECKPOINT_SCHEMA`]).
+    pub schema: u32,
+    /// Human-readable sweep name (e.g. the figure/binary name).
+    pub name: String,
+    /// Hex content fingerprint over kernel + grid + machine configuration.
+    pub fingerprint: String,
+    /// Total number of cells in the sweep (journal indices are `0..cells`).
+    pub cells: usize,
+    /// Free-form description shown in mismatch errors.
+    pub description: String,
+}
+
+impl SweepManifest {
+    /// Builds a manifest whose fingerprint covers `parts` (kernel name,
+    /// grid rendering, config debug strings, …) plus the cell count.
+    pub fn new<I, P>(name: &str, description: &str, cells: usize, parts: I) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: AsRef<[u8]>,
+    {
+        let mut buf: Vec<Vec<u8>> = vec![format!("cells={cells}").into_bytes()];
+        buf.extend(parts.into_iter().map(|p| p.as_ref().to_vec()));
+        SweepManifest {
+            schema: CHECKPOINT_SCHEMA,
+            name: name.to_string(),
+            fingerprint: format!("{:016x}", fingerprint(buf)),
+            cells,
+            description: description.to_string(),
+        }
+    }
+}
+
+/// One completed cell, as journaled. `secs_bits` is the cell's measured
+/// seconds as raw IEEE-754 bits; failed cells journal `f64::NAN`'s bits
+/// together with the error kind so a resume neither recomputes nor
+/// forgets them.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Flat cell index in `0..manifest.cells` (row-major over the grid).
+    pub cell: u64,
+    /// `f64::to_bits` of the cell's seconds value (NaN bits on failure).
+    pub secs_bits: u64,
+    /// Simulated cycles the cell consumed (0 on failure).
+    pub cycles: u64,
+    /// How many attempts the cell took (1 = first try).
+    pub attempts: u32,
+    /// `SimError::kind()` tag when the cell ultimately failed, else empty.
+    #[serde(default)]
+    pub error_kind: String,
+}
+
+impl CellRecord {
+    /// The journaled seconds value.
+    pub fn secs(&self) -> f64 {
+        f64::from_bits(self.secs_bits)
+    }
+
+    /// Whether the cell completed successfully.
+    pub fn ok(&self) -> bool {
+        self.error_kind.is_empty()
+    }
+}
+
+/// An open checkpoint directory: validated manifest, loaded journal, and
+/// an append handle for new records.
+#[derive(Debug)]
+pub struct Checkpoint {
+    dir: PathBuf,
+    journal: Mutex<File>,
+    done: HashMap<u64, CellRecord>,
+    resumed_cells: usize,
+}
+
+fn io_err(what: impl std::fmt::Display) -> SimError {
+    SimError::Io { what: what.to_string() }
+}
+
+impl Checkpoint {
+    /// Path of the manifest file inside `dir`.
+    pub fn manifest_path(dir: &Path) -> PathBuf {
+        dir.join("manifest.json")
+    }
+
+    /// Path of the journal file inside `dir`.
+    pub fn journal_path(dir: &Path) -> PathBuf {
+        dir.join("journal.jsonl")
+    }
+
+    /// Opens (creating if needed) the checkpoint at `dir` for `manifest`.
+    ///
+    /// * Fresh directory: the manifest is written atomically and an empty
+    ///   journal is created.
+    /// * Existing directory with `resume = true`: the stored manifest must
+    ///   match `manifest` exactly (schema, fingerprint, cell count);
+    ///   journaled records are loaded so the sweep can skip them.
+    /// * Existing directory with a non-empty journal and `resume = false`:
+    ///   refused — overwriting a journal silently discards completed work;
+    ///   the caller must pass `--resume` or point at a fresh directory.
+    pub fn open(dir: &Path, manifest: &SweepManifest, resume: bool) -> Result<Self, SimError> {
+        fs::create_dir_all(dir)
+            .map_err(|e| io_err(format!("create checkpoint dir {}: {e}", dir.display())))?;
+        let mpath = Self::manifest_path(dir);
+        let jpath = Self::journal_path(dir);
+
+        if mpath.exists() {
+            let text = fs::read_to_string(&mpath)
+                .map_err(|e| io_err(format!("read {}: {e}", mpath.display())))?;
+            let stored: SweepManifest = serde_json::from_str(&text)
+                .map_err(|e| io_err(format!("parse {}: {e}", mpath.display())))?;
+            if stored != *manifest {
+                return Err(io_err(format!(
+                    "checkpoint at {} belongs to a different sweep: stored \
+                     {}/{} ({} cells), requested {}/{} ({} cells); use a \
+                     fresh --checkpoint-dir",
+                    dir.display(),
+                    stored.name,
+                    stored.fingerprint,
+                    stored.cells,
+                    manifest.name,
+                    manifest.fingerprint,
+                    manifest.cells,
+                )));
+            }
+            let journal_len = fs::metadata(&jpath).map(|m| m.len()).unwrap_or(0);
+            if !resume && journal_len > 0 {
+                return Err(io_err(format!(
+                    "checkpoint at {} already has a journal with completed \
+                     cells; pass --resume to continue it or choose a fresh \
+                     --checkpoint-dir",
+                    dir.display(),
+                )));
+            }
+        } else {
+            // Atomic create: render to a temp file in the same directory,
+            // then rename over the final name. `rename` within one
+            // filesystem is atomic, so readers see either no manifest or a
+            // complete one.
+            let tmp = dir.join("manifest.json.tmp");
+            let body = serde_json::to_string_pretty(manifest)
+                .map_err(|e| io_err(format!("serialize manifest: {e}")))?;
+            fs::write(&tmp, body.as_bytes())
+                .map_err(|e| io_err(format!("write {}: {e}", tmp.display())))?;
+            fs::rename(&tmp, &mpath)
+                .map_err(|e| io_err(format!("rename {} into place: {e}", tmp.display())))?;
+        }
+
+        let done = if resume && jpath.exists() { Self::load_journal(&jpath)? } else { HashMap::new() };
+        let resumed_cells = done.len();
+
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&jpath)
+            .map_err(|e| io_err(format!("open {}: {e}", jpath.display())))?;
+
+        Ok(Self { dir: dir.to_path_buf(), journal: Mutex::new(journal), done, resumed_cells })
+    }
+
+    /// Parses the journal, tolerating a truncated *final* line (the one
+    /// state a SIGKILL mid-append can leave behind). A later record for
+    /// the same cell wins — retries append a fresh record rather than
+    /// rewriting history.
+    fn load_journal(path: &Path) -> Result<HashMap<u64, CellRecord>, SimError> {
+        let text =
+            fs::read_to_string(path).map_err(|e| io_err(format!("read {}: {e}", path.display())))?;
+        let lines: Vec<&str> = text.lines().collect();
+        let mut done = HashMap::new();
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<CellRecord>(line) {
+                Ok(rec) => {
+                    done.insert(rec.cell, rec);
+                }
+                Err(e) if i + 1 == lines.len() => {
+                    // Torn tail from an unclean death; the cell re-runs.
+                    let _ = e;
+                }
+                Err(e) => {
+                    return Err(io_err(format!(
+                        "corrupt journal {}: line {} is malformed ({e}); only \
+                         the final line may be truncated by a crash",
+                        path.display(),
+                        i + 1,
+                    )));
+                }
+            }
+        }
+        Ok(done)
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The journaled record for `cell`, if one was loaded on resume or
+    /// recorded this run.
+    pub fn done(&self, cell: u64) -> Option<&CellRecord> {
+        self.done.get(&cell)
+    }
+
+    /// Number of cells loaded from a prior run's journal at open time.
+    pub fn resumed_cells(&self) -> usize {
+        self.resumed_cells
+    }
+
+    /// Appends `rec` to the journal and flushes it to the OS, so the
+    /// record survives any subsequent process death.
+    pub fn record(&mut self, rec: CellRecord) -> Result<(), SimError> {
+        let line =
+            serde_json::to_string(&rec).map_err(|e| io_err(format!("serialize record: {e}")))?;
+        {
+            let mut f = self.journal.lock().expect("journal handle poisoned");
+            f.write_all(line.as_bytes())
+                .and_then(|()| f.write_all(b"\n"))
+                .and_then(|()| f.flush())
+                .map_err(|e| io_err(format!("append journal: {e}")))?;
+        }
+        self.done.insert(rec.cell, rec);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("save-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn manifest(cells: usize) -> SweepManifest {
+        SweepManifest::new("test-sweep", "unit test", cells, ["gemm", "grid=4x4", "cfg"])
+    }
+
+    #[test]
+    fn fingerprint_separates_parts() {
+        assert_ne!(fingerprint(["ab", "c"]), fingerprint(["a", "bc"]));
+        assert_eq!(fingerprint(["a", "b"]), fingerprint(["a", "b"]));
+    }
+
+    #[test]
+    fn record_and_resume_round_trip_bits() {
+        let dir = tmpdir("roundtrip");
+        let m = manifest(4);
+        let mut ck = Checkpoint::open(&dir, &m, false).unwrap();
+        let secs = 1.0_f64 / 3.0; // not representable exactly
+        ck.record(CellRecord {
+            cell: 2,
+            secs_bits: secs.to_bits(),
+            cycles: 987654321,
+            attempts: 1,
+            error_kind: String::new(),
+        })
+        .unwrap();
+        drop(ck);
+
+        let ck = Checkpoint::open(&dir, &m, true).unwrap();
+        assert_eq!(ck.resumed_cells(), 1);
+        let rec = ck.done(2).expect("cell 2 journaled");
+        assert_eq!(rec.secs().to_bits(), secs.to_bits(), "bit-identical resume");
+        assert_eq!(rec.cycles, 987654321);
+        assert!(rec.ok());
+        assert!(ck.done(0).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_manifest_is_refused() {
+        let dir = tmpdir("mismatch");
+        Checkpoint::open(&dir, &manifest(4), false).unwrap();
+        let other = SweepManifest::new("test-sweep", "unit test", 4, ["gemm", "grid=5x5", "cfg"]);
+        let err = Checkpoint::open(&dir, &other, true).unwrap_err();
+        assert_eq!(err.kind(), "io");
+        assert!(err.to_string().contains("different sweep"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nonempty_journal_without_resume_is_refused() {
+        let dir = tmpdir("noresume");
+        let m = manifest(4);
+        let mut ck = Checkpoint::open(&dir, &m, false).unwrap();
+        ck.record(CellRecord {
+            cell: 0,
+            secs_bits: 1.0_f64.to_bits(),
+            cycles: 1,
+            attempts: 1,
+            error_kind: String::new(),
+        })
+        .unwrap();
+        drop(ck);
+        let err = Checkpoint::open(&dir, &m, false).unwrap_err();
+        assert!(err.to_string().contains("--resume"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated_but_interior_corruption_is_not() {
+        let dir = tmpdir("torn");
+        let m = manifest(4);
+        let mut ck = Checkpoint::open(&dir, &m, false).unwrap();
+        for cell in 0..2u64 {
+            ck.record(CellRecord {
+                cell,
+                secs_bits: (cell as f64).to_bits(),
+                cycles: cell,
+                attempts: 1,
+                error_kind: String::new(),
+            })
+            .unwrap();
+        }
+        drop(ck);
+
+        // Simulate SIGKILL mid-append: a torn final line.
+        let jpath = Checkpoint::journal_path(&dir);
+        let mut f = OpenOptions::new().append(true).open(&jpath).unwrap();
+        f.write_all(b"{\"cell\": 3, \"secs_b").unwrap();
+        drop(f);
+        let ck = Checkpoint::open(&dir, &m, true).unwrap();
+        assert_eq!(ck.resumed_cells(), 2, "torn tail dropped, intact records kept");
+        drop(ck);
+
+        // Interior corruption (cannot come from a crash) is a hard error.
+        let text = fs::read_to_string(&jpath).unwrap();
+        fs::write(&jpath, format!("garbage-not-json\n{text}")).unwrap();
+        let err = Checkpoint::open(&dir, &m, true).unwrap_err();
+        assert!(err.to_string().contains("corrupt journal"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retried_cell_latest_record_wins() {
+        let dir = tmpdir("latest");
+        let m = manifest(2);
+        let mut ck = Checkpoint::open(&dir, &m, false).unwrap();
+        ck.record(CellRecord {
+            cell: 1,
+            secs_bits: f64::NAN.to_bits(),
+            cycles: 0,
+            attempts: 1,
+            error_kind: "deadline".into(),
+        })
+        .unwrap();
+        ck.record(CellRecord {
+            cell: 1,
+            secs_bits: 2.5_f64.to_bits(),
+            cycles: 10,
+            attempts: 2,
+            error_kind: String::new(),
+        })
+        .unwrap();
+        drop(ck);
+        let ck = Checkpoint::open(&dir, &m, true).unwrap();
+        let rec = ck.done(1).unwrap();
+        assert!(rec.ok());
+        assert_eq!(rec.attempts, 2);
+        assert_eq!(rec.secs(), 2.5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

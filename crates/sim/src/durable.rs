@@ -1,0 +1,278 @@
+//! Per-cell retry policy and the durable cell runner (DESIGN.md §5f).
+//!
+//! One sweep cell = one kernel simulation at one operating point. The
+//! durable runner wraps a cell in:
+//!
+//! * **panic isolation** — a panic becomes [`SimError::WorkerPanic`], as in
+//!   [`crate::parallel`], but here it feeds the retry state machine;
+//! * **a wall-clock deadline** — each *attempt* registers a
+//!   [`crate::cancel::WatchGuard`] with the supervisor; when the deadline
+//!   passes, the attempt's cancel token latches, the simulated core stops
+//!   at its next quantum boundary, and the resulting
+//!   [`SimError::Cancelled`] is reclassified to
+//!   [`SimError::DeadlineExceeded`];
+//! * **bounded retries with exponential backoff** — errors classified
+//!   [`RetryClass::Transient`] are retried up to `retries` extra attempts,
+//!   sleeping `backoff * 2^(attempt-1)` (capped at `max_backoff`) between
+//!   attempts; [`RetryClass::Permanent`] errors fail fast;
+//!   [`RetryClass::Cancelled`] aborts immediately so Ctrl-C is honoured
+//!   even mid-backoff (the backoff sleep itself is interruptible).
+
+use crate::cancel::{CancelToken, SupervisorHandle};
+use crate::error::{RetryClass, SimError};
+use crate::parallel::panic_error;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Process exit code for a fully successful sweep.
+pub const EXIT_OK: u8 = 0;
+/// Process exit code when the sweep finished but some cells failed
+/// permanently (their failures are journaled and reported).
+pub const EXIT_FAILURES: u8 = 1;
+/// Process exit code for a command-line / configuration error.
+pub const EXIT_USAGE: u8 = 2;
+/// Process exit code for "cancelled by SIGINT/SIGTERM, journal flushed,
+/// resumable with `--resume`" — 130 by the shell convention for SIGINT
+/// (128 + 2), and distinct from [`EXIT_FAILURES`] so schedulers can tell
+/// "re-submit with --resume" from "inspect the failure report".
+pub const EXIT_CANCELLED: u8 = 130;
+
+/// Retry/deadline policy for one sweep's cells.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (total attempts = `retries + 1`).
+    pub retries: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub backoff: Duration,
+    /// Upper bound on the (exponentially growing) backoff.
+    pub max_backoff: Duration,
+    /// Per-attempt wall-clock deadline; `None` disables deadlines.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 2,
+            backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (1-based), exponentially
+    /// grown and capped.
+    pub fn backoff_for(&self, retry: u32) -> Duration {
+        let shift = retry.saturating_sub(1).min(16);
+        self.backoff.saturating_mul(1u32 << shift).min(self.max_backoff)
+    }
+}
+
+/// Outcome of a durable cell: the final result plus how many attempts it
+/// took (journaled so a resumed run knows the cell's history).
+pub struct CellRun<T> {
+    /// `Ok` on success; the *final* attempt's error otherwise.
+    pub result: Result<T, SimError>,
+    /// Total attempts made (1 = first try succeeded or failed fast).
+    pub attempts: u32,
+}
+
+/// Runs one cell under the policy. `what` names the cell in errors; `job`
+/// is its index (used for panic attribution). The closure receives the
+/// attempt's cancel token — thread it into
+/// [`crate::runner::run_kernel_cancel`] so deadlines and Ctrl-C can stop
+/// the simulated core mid-run.
+pub fn run_cell<T>(
+    sup: &SupervisorHandle,
+    policy: &RetryPolicy,
+    what: &str,
+    job: usize,
+    f: impl Fn(&CancelToken) -> Result<T, SimError>,
+) -> CellRun<T> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        if sup.global().is_cancelled() {
+            return CellRun {
+                result: Err(SimError::Cancelled { what: what.to_string() }),
+                attempts,
+            };
+        }
+        let guard = sup.watch(policy.deadline);
+        let token = guard.token();
+        let err = match catch_unwind(AssertUnwindSafe(|| f(&token))) {
+            Ok(Ok(v)) => return CellRun { result: Ok(v), attempts },
+            Ok(Err(e)) => e,
+            Err(payload) => panic_error(job, payload),
+        };
+        // A cooperative stop caused by *this cell's* deadline (not a global
+        // cancel) is a deadline overrun — a different retry class and a
+        // different journal entry than user cancellation.
+        let err = match err {
+            SimError::Cancelled { what: w }
+                if guard.deadline_expired() && !sup.global().is_cancelled() =>
+            {
+                SimError::DeadlineExceeded {
+                    what: w,
+                    millis: policy.deadline.map(|d| d.as_millis() as u64).unwrap_or(0),
+                }
+            }
+            e => e,
+        };
+        drop(guard);
+        match err.retry_class() {
+            RetryClass::Permanent | RetryClass::Cancelled => {
+                return CellRun { result: Err(err), attempts }
+            }
+            RetryClass::Transient => {
+                if attempts > policy.retries {
+                    return CellRun { result: Err(err), attempts };
+                }
+                if !sup.backoff_sleep(policy.backoff_for(attempts)) {
+                    // Backoff interrupted by a global cancel.
+                    return CellRun {
+                        result: Err(SimError::Cancelled { what: what.to_string() }),
+                        attempts,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cancel::Supervisor;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            retries: 10,
+            backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+            deadline: None,
+        };
+        assert_eq!(p.backoff_for(1), Duration::from_millis(10));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(20));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(35), "capped");
+        assert_eq!(p.backoff_for(30), Duration::from_millis(35), "shift saturates");
+    }
+
+    #[test]
+    fn first_try_success_is_one_attempt() {
+        let sup = Supervisor::start(false);
+        let run = run_cell(&sup.handle(), &fast_policy(), "cell", 0, |_| Ok(42));
+        assert_eq!(run.result.unwrap(), 42);
+        assert_eq!(run.attempts, 1);
+    }
+
+    #[test]
+    fn transient_errors_retry_until_budget() {
+        let sup = Supervisor::start(false);
+        let calls = AtomicU32::new(0);
+        let run = run_cell(&sup.handle(), &fast_policy(), "cell", 0, |_| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err::<u32, _>(SimError::Io { what: "flaky".into() })
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "1 try + 2 retries");
+        assert_eq!(run.attempts, 3);
+        assert_eq!(run.result.unwrap_err().kind(), "io");
+    }
+
+    #[test]
+    fn transient_error_heals_on_retry() {
+        let sup = Supervisor::start(false);
+        let calls = AtomicU32::new(0);
+        let run = run_cell(&sup.handle(), &fast_policy(), "cell", 0, |_| {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err(SimError::Io { what: "first try flaky".into() })
+            } else {
+                Ok(7u32)
+            }
+        });
+        assert_eq!(run.result.unwrap(), 7);
+        assert_eq!(run.attempts, 2);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let sup = Supervisor::start(false);
+        let calls = AtomicU32::new(0);
+        let run = run_cell(&sup.handle(), &fast_policy(), "cell", 0, |_| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err::<u32, _>(SimError::InvalidConfig { what: "deterministic".into() })
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "no retry for permanent errors");
+        assert_eq!(run.attempts, 1);
+    }
+
+    #[test]
+    fn panics_are_transient_and_attributed() {
+        let sup = Supervisor::start(false);
+        let calls = AtomicU32::new(0);
+        let run = run_cell(&sup.handle(), &fast_policy(), "cell", 9, |_| -> Result<u32, _> {
+            calls.fetch_add(1, Ordering::SeqCst);
+            panic!("boom");
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        match run.result.unwrap_err() {
+            SimError::WorkerPanic { job, message } => {
+                assert_eq!(job, 9);
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected WorkerPanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn global_cancel_stops_before_first_attempt() {
+        let sup = Supervisor::start(false);
+        let h = sup.handle();
+        h.cancel_global();
+        let run = run_cell(&h, &fast_policy(), "cell", 0, |_| Ok(1u32));
+        assert_eq!(run.result.unwrap_err().kind(), "cancelled");
+    }
+
+    #[test]
+    fn deadline_is_reclassified_and_retried() {
+        let sup = Supervisor::start(false);
+        let h = sup.handle();
+        let policy = RetryPolicy {
+            retries: 1,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            deadline: Some(Duration::from_millis(10)),
+        };
+        let calls = AtomicU32::new(0);
+        // The cell honours its token like a real kernel run: it spins
+        // until cancelled, then reports SimError::Cancelled.
+        let run = run_cell(&h, &policy, "slow-cell", 0, |tok| -> Result<u32, _> {
+            calls.fetch_add(1, Ordering::SeqCst);
+            while !tok.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(SimError::Cancelled { what: "slow-cell".into() })
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "deadline overruns are retried");
+        match run.result.unwrap_err() {
+            SimError::DeadlineExceeded { what, millis } => {
+                assert_eq!(what, "slow-cell");
+                assert_eq!(millis, 10);
+            }
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+    }
+}

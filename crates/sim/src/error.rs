@@ -68,6 +68,37 @@ pub enum SimError {
         /// Description of what failed.
         what: String,
     },
+    /// The run was cancelled cooperatively (Ctrl-C / SIGTERM or an embedder's
+    /// cancel token): the core stopped at its next cycle-quantum boundary.
+    /// Cancelled cells are *not* failures — a resumed sweep recomputes them.
+    Cancelled {
+        /// Kernel / sweep cell that was interrupted.
+        what: String,
+    },
+    /// A sweep cell exceeded its per-cell wall-clock deadline and was
+    /// interrupted by the supervisor. Distinct from [`SimError::Cancelled`]:
+    /// only this cell was stopped, the sweep keeps going.
+    DeadlineExceeded {
+        /// Kernel / sweep cell that was interrupted.
+        what: String,
+        /// The deadline that was exceeded, in milliseconds.
+        millis: u64,
+    },
+}
+
+/// How a durable sweep should react to a failed cell (DESIGN.md §5f).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetryClass {
+    /// Retrying cannot change the outcome (deterministic model error):
+    /// record the failure immediately and move on.
+    Permanent,
+    /// The failure may be environmental (scheduling jitter tripping a
+    /// deadline, a panic from resource pressure, a transient I/O error):
+    /// retry with exponential backoff up to the policy's attempt budget.
+    Transient,
+    /// The whole sweep is being cancelled: stop retrying, flush the
+    /// journal, and exit with the "cancelled, resumable" code.
+    Cancelled,
 }
 
 impl SimError {
@@ -80,6 +111,37 @@ impl SimError {
             SimError::InvalidConfig { .. } => "invalid-config",
             SimError::WorkerPanic { .. } => "worker-panic",
             SimError::Io { .. } => "io",
+            SimError::Cancelled { .. } => "cancelled",
+            SimError::DeadlineExceeded { .. } => "deadline",
+        }
+    }
+
+    /// Classifies this error for the durable sweep's retry state machine.
+    ///
+    /// The table is deliberately exhaustive (no `_` arm) so adding a variant
+    /// forces a classification decision here; `tests::retry_classification`
+    /// asserts every `kind()` tag's class.
+    ///
+    /// * Model-determined outcomes ([`SimError::VerifyMismatch`],
+    ///   [`SimError::InvariantViolation`], [`SimError::InvalidConfig`]) are
+    ///   [`RetryClass::Permanent`]: the simulator is deterministic, so
+    ///   re-running the same cell reproduces the same error.
+    /// * [`SimError::CycleBudgetExceeded`] is [`RetryClass::Transient`]: a
+    ///   stall diagnosis depends on the configured budget/horizon, and the
+    ///   durable layer's policy may raise them between attempts.
+    /// * Host-side failures ([`SimError::WorkerPanic`], [`SimError::Io`],
+    ///   [`SimError::DeadlineExceeded`]) are [`RetryClass::Transient`]:
+    ///   they can come from resource pressure on the machine, not the model.
+    pub fn retry_class(&self) -> RetryClass {
+        match self {
+            SimError::VerifyMismatch { .. } => RetryClass::Permanent,
+            SimError::InvariantViolation { .. } => RetryClass::Permanent,
+            SimError::InvalidConfig { .. } => RetryClass::Permanent,
+            SimError::CycleBudgetExceeded { .. } => RetryClass::Transient,
+            SimError::WorkerPanic { .. } => RetryClass::Transient,
+            SimError::Io { .. } => RetryClass::Transient,
+            SimError::DeadlineExceeded { .. } => RetryClass::Transient,
+            SimError::Cancelled { .. } => RetryClass::Cancelled,
         }
     }
 }
@@ -113,6 +175,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "sweep job {job} panicked: {message}")
             }
             SimError::Io { what } => write!(f, "i/o error: {what}"),
+            SimError::Cancelled { what } => write!(f, "cancelled: {what}"),
+            SimError::DeadlineExceeded { what, millis } => {
+                write!(f, "deadline exceeded ({millis} ms): {what}")
+            }
         }
     }
 }
@@ -149,5 +215,103 @@ mod tests {
         let e: SimError = io.into();
         assert_eq!(e.kind(), "io");
         assert!(e.to_string().contains("no such file"));
+    }
+
+    /// One sample of every `SimError` variant, so the classification table
+    /// below provably covers the whole enum (adding a variant without
+    /// extending this list fails the count assertion).
+    fn one_of_each() -> Vec<SimError> {
+        use save_core::{CoreStats, SchedulerKind, StallCause};
+        vec![
+            SimError::VerifyMismatch {
+                kernel: "gemm".into(),
+                core: None,
+                index: 0,
+                got: 0.0,
+                want: 1.0,
+            },
+            SimError::CycleBudgetExceeded {
+                kernel: "gemm".into(),
+                core: None,
+                diag: Box::new(StallDiag {
+                    cause: StallCause::CycleBudget,
+                    cycle: 10,
+                    last_commit_cycle: 5,
+                    rob_occupancy: 0,
+                    rob_capacity: 224,
+                    rs_occupancy: 0,
+                    rs_capacity: 97,
+                    loads_in_flight: 0,
+                    phys_free: 1,
+                    oldest_unretired: None,
+                    scheduler: SchedulerKind::Baseline,
+                    stats: CoreStats::default(),
+                }),
+            },
+            SimError::InvariantViolation {
+                kernel: "gemm".into(),
+                core: None,
+                report: Box::new(SanitizerReport {
+                    invariant: "lane-conservation".into(),
+                    cycle: 3,
+                    rob: None,
+                    witness: "mask mismatch".into(),
+                }),
+            },
+            SimError::InvalidConfig { what: "vpus must be 1 or 2".into() },
+            SimError::WorkerPanic { job: 4, message: "boom".into() },
+            SimError::Io { what: "disk full".into() },
+            SimError::Cancelled { what: "cell (0.5, 0.5)".into() },
+            SimError::DeadlineExceeded { what: "cell (0.5, 0.5)".into(), millis: 250 },
+        ]
+    }
+
+    /// The retry-class table asserted per `kind()` tag (ISSUE 6 satellite):
+    /// every variant appears exactly once and maps to the documented class.
+    #[test]
+    fn retry_classification() {
+        let expected: &[(&str, RetryClass)] = &[
+            ("verify-mismatch", RetryClass::Permanent),
+            ("cycle-budget", RetryClass::Transient),
+            ("invariant-violation", RetryClass::Permanent),
+            ("invalid-config", RetryClass::Permanent),
+            ("worker-panic", RetryClass::Transient),
+            ("io", RetryClass::Transient),
+            ("cancelled", RetryClass::Cancelled),
+            ("deadline", RetryClass::Transient),
+        ];
+        let samples = one_of_each();
+        assert_eq!(
+            samples.len(),
+            expected.len(),
+            "every SimError variant needs a row in the classification table"
+        );
+        for e in &samples {
+            let (_, want) = expected
+                .iter()
+                .find(|(kind, _)| *kind == e.kind())
+                .unwrap_or_else(|| panic!("no expected class for kind {:?}", e.kind()));
+            assert_eq!(e.retry_class(), *want, "wrong class for {:?}", e.kind());
+        }
+    }
+
+    #[test]
+    fn cancellation_variants_display() {
+        let c = SimError::Cancelled { what: "fig14 cell 3".into() };
+        assert_eq!(c.kind(), "cancelled");
+        assert!(c.to_string().contains("fig14 cell 3"));
+        let d = SimError::DeadlineExceeded { what: "fig14 cell 3".into(), millis: 1500 };
+        assert_eq!(d.kind(), "deadline");
+        assert!(d.to_string().contains("1500 ms"), "{d}");
+    }
+
+    #[test]
+    fn retry_class_round_trips_through_json() {
+        for e in one_of_each() {
+            let class = e.retry_class();
+            let json = serde_json::to_string(&class).unwrap();
+            let back: RetryClass = serde_json::from_str(&json).unwrap();
+            assert_eq!(class, back);
+        }
     }
 }

@@ -9,13 +9,17 @@
 //! VPUs per epoch for the whole network, *dynamic* per kernel, both with
 //! negligible switching overhead.
 
+use crate::cancel::SupervisorHandle;
+use crate::checkpoint::fingerprint;
+use crate::durable::RetryPolicy;
 use crate::error::SimError;
 use crate::net::Network;
 use crate::runner::{ConfigKind, MachineConfig};
-use crate::surface::Surface;
+use crate::surface::{DurableSweep, Surface};
 use save_kernels::{Phase, Precision};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 /// Estimator settings.
@@ -123,16 +127,41 @@ pub struct TrainingEstimate {
     pub dynamic: PhaseTimes,
 }
 
+/// Durable-execution options for an [`Estimator`] (DESIGN.md §5f): every
+/// surface sweep becomes a checkpointed sub-sweep stored under
+/// `checkpoint_dir/surf-<fingerprint>/`, with the supervisor enforcing
+/// per-cell deadlines and propagating cancellation.
+#[derive(Clone)]
+pub struct EstimatorDurability {
+    /// Root checkpoint directory; each distinct surface gets a
+    /// content-addressed subdirectory. `None` keeps deadlines/retries/
+    /// cancellation without journaling.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from existing per-surface journals.
+    pub resume: bool,
+    /// Per-cell deadline/retry policy.
+    pub policy: RetryPolicy,
+    /// Supervisor handle shared with the rest of the process.
+    pub supervisor: SupervisorHandle,
+}
+
 /// The estimator: sweeps, caches and interpolates kernel surfaces.
 pub struct Estimator {
     cfg: EstimatorConfig,
+    durability: Option<EstimatorDurability>,
     surfaces: Mutex<HashMap<String, Arc<Surface>>>,
 }
 
 impl Estimator {
     /// Creates an estimator.
     pub fn new(cfg: EstimatorConfig) -> Self {
-        Estimator { cfg, surfaces: Mutex::new(HashMap::new()) }
+        Estimator { cfg, durability: None, surfaces: Mutex::new(HashMap::new()) }
+    }
+
+    /// Creates an estimator whose surface sweeps run under the durable
+    /// execution layer (checkpointed, deadline-supervised, cancellable).
+    pub fn durable(cfg: EstimatorConfig, durability: EstimatorDurability) -> Self {
+        Estimator { cfg, durability: Some(durability), surfaces: Mutex::new(HashMap::new()) }
     }
 
     /// The configuration.
@@ -180,14 +209,48 @@ impl Estimator {
         if let Some(s) = self.lock_surfaces().get(&key) {
             return Ok(Arc::clone(s));
         }
-        let s = Arc::new(Surface::sweep(
-            w,
-            kind,
-            &self.cfg.machine,
-            a_levels,
-            b_levels,
-            self.cfg.threads,
-        )?);
+        let s = match &self.durability {
+            None => Arc::new(Surface::sweep(
+                w,
+                kind,
+                &self.cfg.machine,
+                a_levels,
+                b_levels,
+                self.cfg.threads,
+            )?),
+            Some(d) => {
+                // Content-address the sub-sweep by the cache key, so each
+                // distinct surface resumes from its own journal no matter
+                // the order surfaces are requested in.
+                let tag = format!("surf-{:016x}", fingerprint([key.as_bytes()]));
+                let subdir = d.checkpoint_dir.as_ref().map(|root| root.join(&tag));
+                let out = Surface::sweep_durable(
+                    w,
+                    kind,
+                    &self.cfg.machine,
+                    a_levels,
+                    b_levels,
+                    self.cfg.threads,
+                    &DurableSweep {
+                        name: tag.clone(),
+                        checkpoint_dir: subdir.as_deref(),
+                        resume: d.resume,
+                        policy: d.policy,
+                        supervisor: &d.supervisor,
+                    },
+                )?;
+                if out.cancelled {
+                    return Err(SimError::Cancelled { what: format!("surface {tag}") });
+                }
+                // The estimator interpolates, so it needs a complete
+                // surface: surface-level failures propagate as the sweep's
+                // first failure, exactly like Surface::sweep.
+                if let Some(fail) = out.report.failures.into_iter().next() {
+                    return Err(fail.error);
+                }
+                Arc::new(out.surface)
+            }
+        };
         self.lock_surfaces().insert(key, Arc::clone(&s));
         Ok(s)
     }
@@ -378,6 +441,36 @@ mod tests {
         assert!(s2 < b, "SAVE 2-VPU training must beat baseline");
         assert!(st <= s2.min(tr.save1.total()) + 1e-12, "static picks the better fixed config");
         assert!(dy <= st + 1e-12, "dynamic refines static");
+    }
+
+    #[test]
+    fn durable_estimator_checkpoints_and_resumes_bit_identically() {
+        use crate::cancel::Supervisor;
+        let dir = std::env::temp_dir().join(format!("save-est-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sup = Supervisor::start(false);
+        let net = toy_net(NetKind::ResNet50Dense);
+        let w = net.layers[1].workload(Phase::Forward, Precision::F32);
+        let mk = |resume: bool| {
+            let mut cfg = EstimatorConfig::default();
+            cfg.machine.cores = 4;
+            cfg.grid = vec![0.0, 0.5, 0.9];
+            Estimator::durable(
+                cfg,
+                EstimatorDurability {
+                    checkpoint_dir: Some(dir.clone()),
+                    resume,
+                    policy: RetryPolicy::default(),
+                    supervisor: sup.handle(),
+                },
+            )
+        };
+        let t1 = mk(false).kernel_time(&w, ConfigKind::Baseline, 0.3, 0.0).unwrap();
+        let subdirs: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(!subdirs.is_empty(), "a per-surface checkpoint subdir was created");
+        let t2 = mk(true).kernel_time(&w, ConfigKind::Baseline, 0.3, 0.0).unwrap();
+        assert_eq!(t1.to_bits(), t2.to_bits(), "resumed estimate must be bit-identical");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -26,6 +26,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
+pub mod checkpoint;
+pub mod durable;
 pub mod error;
 pub mod estimate;
 pub mod multicore;
@@ -36,11 +39,20 @@ pub mod power;
 pub mod runner;
 pub mod surface;
 
-pub use error::SimError;
-pub use estimate::{Estimator, EstimatorConfig, InferenceEstimate, TrainingEstimate};
+pub use cancel::{CancelToken, Supervisor, SupervisorHandle, WatchGuard};
+pub use checkpoint::{CellRecord, Checkpoint, SweepManifest};
+pub use durable::{
+    run_cell, CellRun, RetryPolicy, EXIT_CANCELLED, EXIT_FAILURES, EXIT_OK, EXIT_USAGE,
+};
+pub use error::{RetryClass, SimError};
+pub use estimate::{
+    Estimator, EstimatorConfig, EstimatorDurability, InferenceEstimate, TrainingEstimate,
+};
 pub use net::{LayerShape, Network};
-pub use parallel::{parallel_map, parallel_try_map, FailureReport, JobFailure};
+pub use parallel::{
+    parallel_map, parallel_try_map, parallel_try_map_cancel, FailureReport, JobFailure,
+};
 pub use policy::{PolicyOutcome, VpuPolicy};
 pub use power::{EnergyBreakdown, PowerModel};
 pub use runner::{ConfigKind, KernelResult, MachineConfig, MachineMode};
-pub use surface::Surface;
+pub use surface::{DurableSweep, Surface, SweepOutcome};

@@ -7,6 +7,7 @@
 //! The kernel's wall-clock time is the slowest core's finish time — exactly
 //! how a parallel layer completes.
 
+use crate::cancel::CancelToken;
 use crate::error::SimError;
 use crate::runner::{warm_regions, ConfigKind, KernelResult, MachineConfig};
 use save_core::{Core, CoreConfig};
@@ -29,7 +30,21 @@ pub fn run_multicore(
     seed: u64,
     verify: bool,
 ) -> Result<KernelResult, SimError> {
-    run_multicore_custom(w, &kind.core_config(), machine, seed, verify)
+    run_multicore_custom_cancel(w, &kind.core_config(), machine, seed, verify, None)
+}
+
+/// [`run_multicore`] with an optional cooperative cancel token: the token's
+/// flag is shared by every simulated core, so one latch stops the whole
+/// lockstep machine within a cancel quantum.
+pub fn run_multicore_cancel(
+    w: &save_kernels::GemmWorkload,
+    kind: ConfigKind,
+    machine: &MachineConfig,
+    seed: u64,
+    verify: bool,
+    cancel: Option<&CancelToken>,
+) -> Result<KernelResult, SimError> {
+    run_multicore_custom_cancel(w, &kind.core_config(), machine, seed, verify, cancel)
 }
 
 /// Like [`run_multicore`] but with an arbitrary core configuration — the
@@ -40,6 +55,19 @@ pub fn run_multicore_custom(
     machine: &MachineConfig,
     seed: u64,
     verify: bool,
+) -> Result<KernelResult, SimError> {
+    run_multicore_custom_cancel(w, core_cfg, machine, seed, verify, None)
+}
+
+/// [`run_multicore_custom`] with an optional cooperative cancel token (see
+/// [`run_multicore_cancel`]).
+pub fn run_multicore_custom_cancel(
+    w: &save_kernels::GemmWorkload,
+    core_cfg: &CoreConfig,
+    machine: &MachineConfig,
+    seed: u64,
+    verify: bool,
+    cancel: Option<&CancelToken>,
 ) -> Result<KernelResult, SimError> {
     let cfg = *core_cfg;
     cfg.validate().map_err(|what| SimError::InvalidConfig { what })?;
@@ -55,6 +83,11 @@ pub fn run_multicore_custom(
         })
         .collect();
     let mut cores: Vec<_> = (0..n).map(|_| Core::new(cfg)).collect();
+    if let Some(tok) = cancel {
+        for core in &mut cores {
+            core.set_cancel(tok.as_flag());
+        }
+    }
     let mut outcomes: Vec<Option<save_core::RunOutcome>> = vec![None; n];
 
     let mut remaining = n;
@@ -116,6 +149,12 @@ pub fn run_multicore_custom(
         }
     }
 
+    // Cancellation outranks every other verdict: a machine whose cores were
+    // told to stop produced no meaningful timing, and the caller needs the
+    // dedicated error to journal/exit correctly.
+    if outcomes.iter().flatten().any(|o| o.cancelled) {
+        return Err(SimError::Cancelled { what: w.name.clone() });
+    }
     // A core that aborted (sanitizer) or stalled (watchdog or budget)
     // poisons the whole run: the layer never finishes. Report the first
     // such core's evidence.

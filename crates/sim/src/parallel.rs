@@ -92,7 +92,7 @@ impl std::fmt::Display for FailureReport {
 }
 
 /// Turns a caught panic payload into a [`SimError::WorkerPanic`].
-fn panic_error(job: usize, payload: Box<dyn std::any::Any + Send>) -> SimError {
+pub(crate) fn panic_error(job: usize, payload: Box<dyn std::any::Any + Send>) -> SimError {
     let message = if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -168,6 +168,77 @@ where
     all.sort_by_key(|(i, _)| *i);
     debug_assert_eq!(all.len(), items.len());
     all.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Cancel-aware variant of [`parallel_try_map`] for durable sweeps
+/// (DESIGN.md §5f). Workers stop *claiming* new items once `cancel`
+/// latches; items never claimed come back as [`SimError::Cancelled`] so the
+/// caller can tell "not attempted, resumable" from a real failure. The
+/// closure receives the item index (for journaling) and is responsible for
+/// its own retry policy — panics here are converted but not retried (the
+/// durable cell runner owns the attempt loop).
+pub fn parallel_try_map_cancel<T, R, F>(
+    items: &[T],
+    threads: usize,
+    cancel: &crate::cancel::CancelToken,
+    f: F,
+) -> Vec<Result<R, SimError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R, SimError> + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(items.len().max(1));
+    let run_one = |i: usize| -> Result<R, SimError> {
+        catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
+            .unwrap_or_else(|payload| Err(panic_error(i, payload)))
+    };
+    let unclaimed = |i: usize| -> Result<R, SimError> {
+        Err(SimError::Cancelled { what: format!("job {i} not started (sweep cancelled)") })
+    };
+    if threads <= 1 {
+        return (0..items.len())
+            .map(|i| if cancel.is_cancelled() { unclaimed(i) } else { run_one(i) })
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, Result<R, SimError>)>> =
+        Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut local: Vec<(usize, Result<R, SimError>)> = Vec::new();
+                loop {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, run_one(i)));
+                }
+                let mut all = collected.lock().unwrap_or_else(|p| p.into_inner());
+                all.extend(local);
+            });
+        }
+    });
+    let mut slots: Vec<Option<Result<R, SimError>>> =
+        (0..items.len()).map(|_| None).collect();
+    let all = collected.into_inner().unwrap_or_else(|p| p.into_inner());
+    for (i, r) in all {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| unclaimed(i)))
+        .collect()
 }
 
 /// Infallible convenience wrapper over [`parallel_try_map`] for closures
@@ -274,6 +345,43 @@ mod tests {
             Ok(x + 1)
         });
         assert_eq!(*out[0].as_ref().unwrap(), 42);
+    }
+
+    #[test]
+    fn cancel_map_completes_when_never_cancelled() {
+        let token = crate::cancel::CancelToken::new();
+        let items: Vec<u32> = (0..32).collect();
+        let out = parallel_try_map_cancel(&items, 4, &token, |i, &x| {
+            assert_eq!(i as u32, x);
+            Ok(x * 3)
+        });
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), (i as u32) * 3);
+        }
+    }
+
+    #[test]
+    fn cancel_map_stops_claiming_after_cancel() {
+        let token = crate::cancel::CancelToken::new();
+        let items: Vec<u32> = (0..64).collect();
+        // Single-threaded so the cancellation point is deterministic: the
+        // 5th item latches the token, items 5.. are never claimed.
+        let out = parallel_try_map_cancel(&items, 1, &token, |i, &x| {
+            if i == 4 {
+                token.cancel();
+            }
+            Ok(x)
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i <= 4 {
+                assert!(r.is_ok(), "item {i} ran before the cancel");
+            } else {
+                match r {
+                    Err(SimError::Cancelled { .. }) => {}
+                    other => panic!("item {i}: expected Cancelled, got {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

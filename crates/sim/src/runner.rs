@@ -1,5 +1,6 @@
 //! Single-kernel execution on a configured machine.
 
+use crate::cancel::CancelToken;
 use crate::error::SimError;
 use save_core::{Core, CoreConfig, CoreStats, SchedulerKind};
 use save_kernels::{GemmWorkload, RegionRole};
@@ -129,9 +130,28 @@ pub fn run_kernel(
     seed: u64,
     verify: bool,
 ) -> Result<KernelResult, SimError> {
+    run_kernel_cancel(w, kind, machine, seed, verify, None)
+}
+
+/// [`run_kernel`] with an optional cooperative cancel token. When the token
+/// latches (Ctrl-C, a per-cell deadline), the simulated core stops at its
+/// next [`save_core::CANCEL_QUANTUM`] boundary and this returns
+/// [`SimError::Cancelled`] — no partial [`KernelResult`] escapes.
+pub fn run_kernel_cancel(
+    w: &GemmWorkload,
+    kind: ConfigKind,
+    machine: &MachineConfig,
+    seed: u64,
+    verify: bool,
+    cancel: Option<&CancelToken>,
+) -> Result<KernelResult, SimError> {
     match machine.mode {
-        MachineMode::Detailed => crate::multicore::run_multicore(w, kind, machine, seed, verify),
-        MachineMode::Symmetric => run_kernel_custom(w, &kind.core_config(), machine, seed, verify),
+        MachineMode::Detailed => {
+            crate::multicore::run_multicore_cancel(w, kind, machine, seed, verify, cancel)
+        }
+        MachineMode::Symmetric => {
+            run_kernel_custom_cancel(w, &kind.core_config(), machine, seed, verify, cancel)
+        }
     }
 }
 
@@ -145,8 +165,23 @@ pub fn run_kernel_custom(
     seed: u64,
     verify: bool,
 ) -> Result<KernelResult, SimError> {
+    run_kernel_custom_cancel(w, core_cfg, machine, seed, verify, None)
+}
+
+/// [`run_kernel_custom`] with an optional cooperative cancel token (see
+/// [`run_kernel_cancel`]).
+pub fn run_kernel_custom_cancel(
+    w: &GemmWorkload,
+    core_cfg: &CoreConfig,
+    machine: &MachineConfig,
+    seed: u64,
+    verify: bool,
+    cancel: Option<&CancelToken>,
+) -> Result<KernelResult, SimError> {
     if machine.mode == MachineMode::Detailed {
-        return crate::multicore::run_multicore_custom(w, core_cfg, machine, seed, verify);
+        return crate::multicore::run_multicore_custom_cancel(
+            w, core_cfg, machine, seed, verify, cancel,
+        );
     }
     let cfg = *core_cfg;
     cfg.validate().map_err(|what| SimError::InvalidConfig { what })?;
@@ -155,7 +190,10 @@ pub fn run_kernel_custom(
     let mut uncore = Uncore::new_symmetric(&machine.mem, machine.cores);
     let mut cmem = CoreMemory::new(0, machine.mem, cfg.freq_ghz);
     warm_regions(w, &built, &mut cmem, &mut uncore);
-    let core = Core::new(cfg);
+    let mut core = Core::new(cfg);
+    if let Some(tok) = cancel {
+        core.set_cancel(tok.as_flag());
+    }
     let out = core.run(&built.program, &mut built.mem, &mut cmem, &mut uncore);
     if let Some(report) = out.violation {
         return Err(SimError::InvariantViolation {
@@ -163,6 +201,9 @@ pub fn run_kernel_custom(
             core: None,
             report,
         });
+    }
+    if out.cancelled {
+        return Err(SimError::Cancelled { what: w.name.clone() });
     }
     if !out.completed {
         let Some(diag) = out.stall else {
