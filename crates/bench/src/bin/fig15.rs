@@ -8,8 +8,7 @@
 
 use save_bench::print_table;
 use save_kernels::{Phase, Precision};
-use save_sim::runner::run_kernel_cancel;
-use save_sim::{ConfigKind, MachineConfig, SimError};
+use save_sim::{CellSpec, ConfigKind, MachineConfig, SimError};
 use serde::Serialize;
 use std::process::ExitCode;
 
@@ -49,10 +48,11 @@ fn body(
             let seed = ((bs * 100.0) as u64) << 8 | (nbs * 100.0) as u64;
             // One journal cell per (sparsity point, operating point): the
             // config is part of the label so resume keys never collide.
+            // Cells are self-contained specs, so `--serve ADDR` runs them
+            // on a daemon (memoized by content hash) with identical bits.
             let mut time = |kind: ConfigKind| {
-                session.seconds(&format!("bs={bs:.1} nbs={nbs:.1} {}", kind.label()), |tok| {
-                    Ok(run_kernel_cancel(&w, kind, &machine, seed, false, Some(tok))?.seconds)
-                })
+                let spec = CellSpec::new(w.clone(), kind, machine, seed);
+                session.spec_seconds(&format!("bs={bs:.1} nbs={nbs:.1} {}", kind.label()), &spec)
             };
             let tb = time(ConfigKind::Baseline);
             let t2 = time(ConfigKind::Save2Vpu);

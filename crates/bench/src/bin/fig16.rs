@@ -14,8 +14,7 @@
 
 use save_bench::print_table;
 use save_kernels::{GemmWorkload, Phase, Precision};
-use save_sim::runner::run_kernel_cancel;
-use save_sim::{ConfigKind, MachineConfig, SimError};
+use save_sim::{CellSpec, ConfigKind, MachineConfig, SimError};
 use serde::Serialize;
 use std::process::ExitCode;
 
@@ -121,13 +120,20 @@ fn body(
                 for (i, &(a, b)) in corners.iter().enumerate() {
                     let w = w0.clone().with_sparsity(a, b);
                     let seed = 1000 + i as u64;
-                    let label = format!("{} {prec} {vpus}vpu corner{i}", k.name);
-                    let ratio = session.seconds(&label, |tok| {
-                        let tb = run_kernel_cancel(&w, ConfigKind::Baseline, &machine, seed, false, Some(tok))?
-                            .seconds;
-                        let ts = run_kernel_cancel(&w, kind, &machine, seed, false, Some(tok))?.seconds;
-                        Ok(tb / ts)
-                    });
+                    // Two spec cells per corner instead of one opaque ratio
+                    // closure: the baseline cell's label is shared across
+                    // the 2-VPU and 1-VPU panels, so a checkpoint (or a
+                    // save-serve daemon's memo cache, with `--serve`)
+                    // computes each baseline exactly once.
+                    let tb = session.spec_seconds(
+                        &format!("{} {prec} base corner{i}", k.name),
+                        &CellSpec::new(w.clone(), ConfigKind::Baseline, machine, seed),
+                    );
+                    let ts = session.spec_seconds(
+                        &format!("{} {prec} {vpus}vpu corner{i}", k.name),
+                        &CellSpec::new(w, kind, machine, seed),
+                    );
+                    let ratio = tb / ts;
                     if ratio.is_finite() {
                         cap = cap.max(ratio);
                     }

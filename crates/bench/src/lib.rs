@@ -24,10 +24,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use save_serve::{CellResult, Client, NamedCell};
 use save_sim::checkpoint::{fnv1a, CellRecord, Checkpoint, SweepManifest};
-use save_sim::durable::{run_cell, RetryPolicy, EXIT_CANCELLED, EXIT_FAILURES, EXIT_OK, EXIT_USAGE};
+use save_sim::durable::{exit_code_for, run_cell, RetryPolicy, EXIT_FAILURES, EXIT_USAGE};
 use save_sim::error::{RetryClass, SimError};
 use save_sim::parallel::{FailureReport, JobFailure};
+use save_sim::spec::CellSpec;
 use save_sim::{CancelToken, Supervisor, SupervisorHandle};
 use serde::Serialize;
 use std::io::Write;
@@ -109,6 +111,10 @@ pub struct BenchCli {
     pub retries: u32,
     /// Worker threads for surface sweeps (`--threads N`).
     pub threads: Option<usize>,
+    /// Submit spec-based cells to a running save-serve daemon at this
+    /// address instead of simulating locally (`--serve ADDR`). Transport
+    /// failures degrade gracefully back to local execution.
+    pub serve_addr: Option<String>,
     /// Positional / binary-specific arguments, in order.
     pub rest: Vec<String>,
 }
@@ -116,7 +122,7 @@ pub struct BenchCli {
 /// The usage text appended to flag-parse errors.
 pub const BENCH_USAGE: &str = "uniform flags: [--quick] [--full] \
      [--checkpoint-dir DIR] [--resume] [--cell-deadline MS] [--retries N] \
-     [--threads N]";
+     [--threads N] [--serve ADDR]";
 
 impl BenchCli {
     /// Parses the process command line (without the program name).
@@ -168,6 +174,7 @@ impl BenchCli {
                         format!("--threads takes a count, got {v:?}\n{BENCH_USAGE}")
                     })?);
                 }
+                "--serve" => cli.serve_addr = Some(value(&arg)?),
                 _ => cli.rest.push(arg),
             }
         }
@@ -257,6 +264,15 @@ pub struct SweepSession {
     checkpoint: Option<Checkpoint>,
     resumed: usize,
     cancelled: bool,
+    /// `--serve ADDR`: submit [`SweepSession::spec_seconds`] cells to a
+    /// save-serve daemon instead of simulating locally.
+    serve_addr: Option<String>,
+    /// Lazily-opened connection to the daemon.
+    serve_client: Option<Client>,
+    /// Latched after a transport failure: all further cells run locally.
+    serve_degraded: bool,
+    /// Cells answered by the daemon (including its cache hits).
+    served: usize,
 }
 
 impl SweepSession {
@@ -276,6 +292,10 @@ impl SweepSession {
             checkpoint: None,
             resumed: 0,
             cancelled: false,
+            serve_addr: None,
+            serve_client: None,
+            serve_degraded: false,
+            served: 0,
         }
     }
 
@@ -319,6 +339,10 @@ impl SweepSession {
             checkpoint,
             resumed,
             cancelled: false,
+            serve_addr: cli.serve_addr.clone(),
+            serve_client: None,
+            serve_degraded: false,
+            served: 0,
         })
     }
 
@@ -480,6 +504,138 @@ impl SweepSession {
         secs
     }
 
+    /// Like [`SweepSession::seconds`] for a self-describing [`CellSpec`]
+    /// cell: with `--serve ADDR`, the cell is submitted to a save-serve
+    /// daemon (which memoizes it by content hash across *all* clients and
+    /// restarts) and the streamed result is journaled locally exactly as a
+    /// local run would be. Any transport failure — refused connection,
+    /// daemon draining, torn stream — degrades the whole session to local
+    /// execution with a warning; the result is bit-identical either way
+    /// because the simulator is deterministic.
+    pub fn spec_seconds(&mut self, label: &str, spec: &CellSpec) -> f64 {
+        if self.serve_addr.is_some() && !self.serve_degraded {
+            // A locally-journaled cell never needs the network; fall through
+            // to `seconds`, which replays it without calling the closure.
+            let journaled = self
+                .checkpoint
+                .as_ref()
+                .and_then(|c| c.done(fnv1a(label.as_bytes())))
+                .is_some();
+            if !journaled {
+                if let Some(secs) = self.remote_seconds(label, spec) {
+                    return secs;
+                }
+            }
+        }
+        let spec = spec.clone();
+        self.seconds(label, move |tok| spec.run(Some(tok)).map(|r| r.seconds))
+    }
+
+    /// Number of cells answered by the daemon so far (`--serve` mode).
+    pub fn served(&self) -> usize {
+        self.served
+    }
+
+    /// One-cell submission to the daemon. `None` means "transport-level
+    /// failure, run locally instead" (and latches degraded mode);
+    /// `Some(secs)` is a definitive outcome — success, remote failure
+    /// (recorded + journaled like a local one), or cancellation.
+    fn remote_seconds(&mut self, label: &str, spec: &CellSpec) -> Option<f64> {
+        if self.cancelled || self.sup.global().is_cancelled() {
+            self.cancelled = true;
+            self.jobs += 1;
+            return Some(f64::NAN);
+        }
+        let addr = self.serve_addr.clone()?;
+        if self.serve_client.is_none() {
+            match Client::connect(&addr) {
+                Ok(c) => self.serve_client = Some(c),
+                Err(e) => {
+                    eprintln!(
+                        "[{}] --serve {addr} unavailable ([{}] {e}); degrading to local execution",
+                        self.name,
+                        e.kind()
+                    );
+                    self.serve_degraded = true;
+                    return None;
+                }
+            }
+        }
+        let cells =
+            vec![NamedCell { label: label.to_string(), spec: spec.clone(), fault: None }];
+        let mut got: Option<CellResult> = None;
+        let outcome = self
+            .serve_client
+            .as_mut()
+            .expect("connected above")
+            .submit(&format!("{}:{label}", self.name), &cells, |r| got = Some(r.clone()));
+        let result = match (outcome, got) {
+            (Ok(_), Some(r)) => r,
+            (Ok(done), None) => {
+                // Daemon cancelled the job before our cell ran: resumable.
+                if done.cancelled {
+                    self.cancelled = true;
+                    self.jobs += 1;
+                    return Some(f64::NAN);
+                }
+                eprintln!(
+                    "[{}] --serve {addr}: job done without a cell result; degrading to local",
+                    self.name
+                );
+                self.serve_degraded = true;
+                self.serve_client = None;
+                return None;
+            }
+            (Err(e), _) => {
+                eprintln!(
+                    "[{}] --serve {addr} failed ([{}] {e}); degrading to local execution",
+                    self.name,
+                    e.kind()
+                );
+                self.serve_degraded = true;
+                self.serve_client = None;
+                return None;
+            }
+        };
+        self.served += 1;
+        let job = self.jobs;
+        self.jobs += 1;
+        if result.error_kind == "cancelled" {
+            // Daemon-side cancellation: not journaled, resumable.
+            self.cancelled = true;
+            return Some(f64::NAN);
+        }
+        if !result.ok() {
+            eprintln!(
+                "[{}] job {job} ({label}) failed on daemon after {} attempt(s): [{}]",
+                self.name, result.attempts, result.error_kind
+            );
+            self.failures.push(JobFailure {
+                job,
+                label: Some(label.to_string()),
+                attempts: result.attempts.max(1) as usize,
+                error: SimError::Io {
+                    what: format!("remote cell failed (kind: {})", result.error_kind),
+                },
+            });
+        }
+        // Journal the remote result under the same label key a local run
+        // would use, so `--resume` replays it without the daemon.
+        if let Some(ck) = self.checkpoint.as_mut() {
+            let rec = CellRecord {
+                cell: fnv1a(label.as_bytes()),
+                secs_bits: result.secs_bits,
+                cycles: result.cycles,
+                attempts: result.attempts,
+                error_kind: result.error_kind.clone(),
+            };
+            if let Err(e) = ck.record(rec) {
+                eprintln!("[{}] journal append failed: {e}", self.name);
+            }
+        }
+        Some(result.secs())
+    }
+
     /// The failure report accumulated so far.
     pub fn report(&self) -> FailureReport {
         FailureReport {
@@ -495,15 +651,11 @@ impl SweepSession {
     }
 
     /// The exit code [`SweepSession::finish`] will map to: cancellation
-    /// outranks failures (the run is resumable, not broken).
+    /// outranks failures (the run is resumable, not broken). Delegates to
+    /// [`save_sim::durable::exit_code_for`] so every binary — and the
+    /// save-serve daemon — shares one mapping.
     fn exit_code(&self) -> u8 {
-        if self.cancelled {
-            EXIT_CANCELLED
-        } else if self.failures.is_empty() {
-            EXIT_OK
-        } else {
-            EXIT_FAILURES
-        }
+        exit_code_for(self.cancelled, self.failures.is_empty())
     }
 
     /// Prints the failure report, persists it as
@@ -573,6 +725,7 @@ pub fn run_main(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use save_sim::durable::EXIT_CANCELLED;
 
     #[test]
     fn session_isolates_failures_and_reports() {

@@ -1,0 +1,88 @@
+//! The save-serve daemon binary.
+//!
+//! ```text
+//! save-serve [--listen ADDR] [--cache-dir DIR] [--workers N]
+//!            [--capacity N] [--cell-deadline-ms MS] [--retries N]
+//!            [--backoff-ms MS]
+//! ```
+//!
+//! Prints `save-serve listening on ADDR` once the socket is bound (parse
+//! this to discover an ephemeral port when listening on `:0`). Exit codes
+//! follow the workspace convention: 0 after a graceful drain (first
+//! SIGINT/SIGTERM or a client `Drain` request), 130 after a forced
+//! second-signal cancellation, 2 on usage errors, 1 on startup failure.
+
+use save_serve::{serve, ServeConfig};
+use save_sim::durable::{EXIT_FAILURES, EXIT_USAGE};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "usage: save-serve [--listen ADDR] [--cache-dir DIR] [--workers N] \
+                     [--capacity N] [--cell-deadline-ms MS] [--retries N] [--backoff-ms MS]";
+
+fn parse(args: &[String]) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--listen" => cfg.listen = value("--listen")?.clone(),
+            "--cache-dir" => cfg.cache_dir = PathBuf::from(value("--cache-dir")?),
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if cfg.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--capacity" => {
+                cfg.capacity = value("--capacity")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+                if cfg.capacity == 0 {
+                    return Err("--capacity must be at least 1".into());
+                }
+            }
+            "--cell-deadline-ms" => {
+                let ms =
+                    value("--cell-deadline-ms")?.parse::<u64>().map_err(|e| format!("--cell-deadline-ms: {e}"))?;
+                cfg.policy.deadline = if ms == 0 { None } else { Some(Duration::from_millis(ms)) };
+            }
+            "--retries" => {
+                cfg.policy.retries =
+                    value("--retries")?.parse::<u32>().map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--backoff-ms" => {
+                let ms = value("--backoff-ms")?.parse::<u64>().map_err(|e| format!("--backoff-ms: {e}"))?;
+                cfg.policy.backoff = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("save-serve: {msg}");
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(EXIT_USAGE as i32);
+        }
+    };
+    match serve(&cfg) {
+        Ok(code) => std::process::exit(code as i32),
+        Err(e) => {
+            eprintln!("save-serve: {e}");
+            std::process::exit(EXIT_FAILURES as i32);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Journal-backed memoized result cache.
+//!
+//! Results are keyed by [`save_sim::CellSpec::cache_key`] — a content hash
+//! over everything that determines a deterministic cell's outcome — and
+//! persisted through the *same* append-only journal format the durable
+//! sweeps use ([`save_sim::Checkpoint`], DESIGN.md §5f): one
+//! [`CellRecord`] line per completed cell with the cache key in the
+//! `cell` field. A daemon restart therefore recovers every completed cell
+//! from disk for free, including torn-tail repair and latest-record-wins
+//! deduplication.
+//!
+//! Concurrency contract (exercised by `tests/cache_contention.rs`): for
+//! any key, **at most one thread computes at a time** and every other
+//! requester either waits for that computation or is served the finished
+//! record — a unique key submitted by N racing jobs is simulated exactly
+//! once.
+//!
+//! Failure semantics follow [`SimError::retry_class_of_kind`]: journaled
+//! *permanent* failures (verify-mismatch, invalid-config, …) are served
+//! from cache like successes — re-running them would deterministically
+//! fail again — while *transient* failure records (deadline, worker-lost,
+//! …) are kept as history but do not satisfy lookups, so the next request
+//! for that key recomputes.
+
+use save_sim::checkpoint::{CellRecord, Checkpoint, SweepManifest};
+use save_sim::{CancelToken, RetryClass, SimError};
+use std::collections::HashSet;
+use std::path::Path;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Manifest identity for serve caches. The cache is keyed by content hash,
+/// not by grid index, so the manifest's `cells` count is 0 and the
+/// fingerprint only pins the schema — any daemon can reopen any cache dir.
+fn cache_manifest() -> SweepManifest {
+    SweepManifest::new("save-serve-cache", "memoized cell results keyed by CellSpec hash", 0, [
+        "save-serve-cache",
+        "keyed-by:cell-spec-fnv1a",
+    ])
+}
+
+struct CacheInner {
+    ck: Checkpoint,
+    in_flight: HashSet<u64>,
+}
+
+/// Outcome of [`ResultCache::claim`].
+#[derive(Debug)]
+pub enum Claim {
+    /// A final record exists; serve it without re-simulation.
+    Hit(CellRecord),
+    /// The caller now owns the key and must call
+    /// [`ResultCache::complete`] or [`ResultCache::release`].
+    Compute,
+    /// Cancelled while waiting for another thread's computation.
+    Cancelled,
+}
+
+/// See module docs.
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    cv: Condvar,
+}
+
+/// Whether a journaled record satisfies future lookups: successes always,
+/// failures only when their kind is classified permanent (deterministic
+/// re-execution would fail identically). Unknown kinds recompute — the
+/// conservative choice when an older journal meets a newer binary.
+fn is_final(rec: &CellRecord) -> bool {
+    rec.ok()
+        || matches!(SimError::retry_class_of_kind(&rec.error_kind), Some(RetryClass::Permanent))
+}
+
+impl ResultCache {
+    /// Opens (or creates) the cache at `dir`, recovering all journaled
+    /// records — this is the daemon-restart recovery path.
+    pub fn open(dir: &Path) -> Result<Self, SimError> {
+        let ck = Checkpoint::open(dir, &cache_manifest(), true)?;
+        Ok(ResultCache {
+            inner: Mutex::new(CacheInner { ck, in_flight: HashSet::new() }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Number of records currently in the cache.
+    pub fn records(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").ck.done_map().len()
+    }
+
+    /// Number of records recovered from disk when the cache was opened.
+    pub fn recovered(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").ck.resumed_cells()
+    }
+
+    /// Looks `key` up, claiming it for computation on a miss. If another
+    /// thread holds the claim, blocks until that computation finishes
+    /// (then serves its record, or claims if the record was transient) or
+    /// until `cancel` latches.
+    pub fn claim(&self, key: u64, cancel: &CancelToken) -> Claim {
+        let mut g = self.inner.lock().expect("cache poisoned");
+        loop {
+            if let Some(rec) = g.ck.done_map().get(&key) {
+                if is_final(rec) {
+                    return Claim::Hit(rec.clone());
+                }
+            }
+            if !g.in_flight.contains(&key) {
+                g.in_flight.insert(key);
+                return Claim::Compute;
+            }
+            if cancel.is_cancelled() {
+                return Claim::Cancelled;
+            }
+            let (g2, _) = self
+                .cv
+                .wait_timeout(g, Duration::from_millis(25))
+                .expect("cache poisoned");
+            g = g2;
+        }
+    }
+
+    /// Journals `rec` (keyed by `rec.cell`), releases the claim, and wakes
+    /// waiters. Call for successes *and* failures — transient failure
+    /// records become history (latest-record-wins) without satisfying
+    /// future lookups.
+    pub fn complete(&self, rec: CellRecord) -> Result<(), SimError> {
+        let mut g = self.inner.lock().expect("cache poisoned");
+        g.in_flight.remove(&rec.cell);
+        let r = g.ck.record(rec);
+        self.cv.notify_all();
+        r
+    }
+
+    /// Releases a claim without journaling anything — used when a
+    /// computation was cancelled (there is no result to remember; the
+    /// journal stays resumable).
+    pub fn release(&self, key: u64) {
+        let mut g = self.inner.lock().expect("cache poisoned");
+        g.in_flight.remove(&key);
+        self.cv.notify_all();
+    }
+
+    /// Journals a record *without* touching the claim — the scheduler's
+    /// respawn monitor uses this to leave a `worker-lost` line for a cell
+    /// whose worker died while the cell is requeued under its live claim.
+    pub fn journal_event(&self, rec: CellRecord) -> Result<(), SimError> {
+        let mut g = self.inner.lock().expect("cache poisoned");
+        g.ck.record(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("save-serve-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn ok_rec(key: u64, secs: f64) -> CellRecord {
+        CellRecord {
+            cell: key,
+            secs_bits: secs.to_bits(),
+            cycles: 100,
+            attempts: 1,
+            error_kind: String::new(),
+        }
+    }
+
+    #[test]
+    fn hit_after_complete_and_across_reopen() {
+        let dir = tmpdir("reopen");
+        let cache = ResultCache::open(&dir).unwrap();
+        let tok = CancelToken::new();
+        assert!(matches!(cache.claim(7, &tok), Claim::Compute));
+        cache.complete(ok_rec(7, 0.25)).unwrap();
+        match cache.claim(7, &tok) {
+            Claim::Hit(rec) => assert_eq!(rec.secs(), 0.25),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        drop(cache);
+
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.recovered(), 1, "restart recovers journaled results");
+        match cache.claim(7, &tok) {
+            Claim::Hit(rec) => assert_eq!(rec.secs(), 0.25),
+            other => panic!("expected hit after reopen, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn permanent_failures_are_served_transient_ones_recompute() {
+        let dir = tmpdir("final");
+        let cache = ResultCache::open(&dir).unwrap();
+        let tok = CancelToken::new();
+
+        assert!(matches!(cache.claim(1, &tok), Claim::Compute));
+        cache
+            .complete(CellRecord {
+                cell: 1,
+                secs_bits: f64::NAN.to_bits(),
+                cycles: 0,
+                attempts: 1,
+                error_kind: "verify-mismatch".into(),
+            })
+            .unwrap();
+        match cache.claim(1, &tok) {
+            Claim::Hit(rec) => assert_eq!(rec.error_kind, "verify-mismatch"),
+            other => panic!("permanent failure should be served, got {other:?}"),
+        }
+
+        assert!(matches!(cache.claim(2, &tok), Claim::Compute));
+        cache
+            .complete(CellRecord {
+                cell: 2,
+                secs_bits: f64::NAN.to_bits(),
+                cycles: 0,
+                attempts: 3,
+                error_kind: "deadline".into(),
+            })
+            .unwrap();
+        assert!(
+            matches!(cache.claim(2, &tok), Claim::Compute),
+            "transient failure must be recomputed, not served"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn waiting_claim_is_cancellable() {
+        let cache = ResultCache::open(&tmpdir("cancel")).unwrap();
+        let tok = CancelToken::new();
+        assert!(matches!(cache.claim(9, &tok), Claim::Compute));
+        tok.cancel();
+        assert!(matches!(cache.claim(9, &tok), Claim::Cancelled));
+        cache.release(9);
+    }
+}

@@ -1,0 +1,37 @@
+//! # save-serve — crash-tolerant sweep service (DESIGN.md §5g)
+//!
+//! A persistent daemon that accepts sweep jobs over a JSON-lines TCP
+//! protocol, executes them on a bounded work-stealing worker pool, and
+//! streams per-cell results back — built entirely on threads and
+//! `std::net` (no async runtime; the workspace builds offline with
+//! vendored stubs only).
+//!
+//! Robustness features, each with a dedicated module:
+//!
+//! * [`protocol`] — the wire format and timeout-tolerant line framing;
+//! * [`cache`] — memoized results keyed by [`save_sim::CellSpec`] content
+//!   hash, journal-backed so a daemon restart recovers completed cells;
+//! * [`scheduler`] — admission control (reject-with-retry-after), panic-
+//!   isolated workers, and crash/respawn handling for lost workers;
+//! * [`server`] — the accept loop and the two-stage graceful drain
+//!   (first signal: finish and exit 0; second: cancel, exit 130);
+//! * [`client`] — the blocking client the bench binaries' `--serve` mode
+//!   uses, with bounded backoff against admission rejections.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use cache::{Claim, ResultCache};
+pub use client::{Client, JobDone};
+pub use protocol::{
+    CellResult, Fault, LineIn, LineReader, NamedCell, Request, Response, ServeStats,
+    PROTOCOL_VERSION,
+};
+pub use scheduler::{Scheduler, Task};
+pub use server::{serve, ServeConfig};

@@ -211,6 +211,14 @@ impl Checkpoint {
                 .map_err(|e| io_err(format!("rename {} into place: {e}", tmp.display())))?;
         }
 
+        if resume && jpath.exists() {
+            // Repair the tail *before* opening the append handle: without
+            // this, the first record appended by a resumed run would be
+            // glued onto whatever debris the previous crash left on the
+            // final line, turning a tolerated torn tail into interior
+            // corruption that hard-fails the *next* resume.
+            repair_tail(&jpath)?;
+        }
         let done = if resume && jpath.exists() { Self::load_journal(&jpath)? } else { HashMap::new() };
         let resumed_cells = done.len();
 
@@ -268,6 +276,13 @@ impl Checkpoint {
         self.done.get(&cell)
     }
 
+    /// All journaled records (resume-loaded plus this run's), keyed by
+    /// cell index. The `save-serve` result cache seeds its memo table from
+    /// this map when the daemon restarts over an existing cache directory.
+    pub fn done_map(&self) -> &HashMap<u64, CellRecord> {
+        &self.done
+    }
+
     /// Number of cells loaded from a prior run's journal at open time.
     pub fn resumed_cells(&self) -> usize {
         self.resumed_cells
@@ -288,6 +303,179 @@ impl Checkpoint {
         self.done.insert(rec.cell, rec);
         Ok(())
     }
+}
+
+/// Splits journal text into its newline-terminated prefix and the
+/// unterminated tail that a crash mid-append can leave behind.
+fn split_terminated(text: &str) -> (&str, &str) {
+    match text.rfind('\n') {
+        Some(i) => text.split_at(i + 1),
+        None => ("", text),
+    }
+}
+
+/// What [`repair_tail`] found (and fixed) at the end of a journal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TailRepair {
+    /// The journal already ends on a record boundary.
+    Clean,
+    /// A torn partial record was truncated away (the cell re-runs).
+    TruncatedTorn,
+    /// The final record was complete but its `\n` terminator was missing —
+    /// the *zero-length* torn-record case, where the crash landed between
+    /// `write_all(line)` and `write_all(b"\n")`. The record is durable, so
+    /// the terminator is appended instead of discarding the result.
+    Terminated,
+}
+
+/// Repairs a journal's tail in place so subsequent appends always start on
+/// a fresh line. Interior lines are left untouched; malformed interior
+/// content is [`Checkpoint::open`]'s corruption error, not ours to hide.
+fn repair_tail(path: &Path) -> Result<TailRepair, SimError> {
+    let text =
+        fs::read_to_string(path).map_err(|e| io_err(format!("read {}: {e}", path.display())))?;
+    let (terminated, tail) = split_terminated(&text);
+    if tail.is_empty() {
+        return Ok(TailRepair::Clean);
+    }
+    if serde_json::from_str::<CellRecord>(tail).is_ok() {
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(format!("open {}: {e}", path.display())))?;
+        f.write_all(b"\n")
+            .and_then(|()| f.flush())
+            .map_err(|e| io_err(format!("terminate journal tail {}: {e}", path.display())))?;
+        Ok(TailRepair::Terminated)
+    } else {
+        let f = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err(format!("open {}: {e}", path.display())))?;
+        f.set_len(terminated.len() as u64)
+            .map_err(|e| io_err(format!("truncate torn tail of {}: {e}", path.display())))?;
+        Ok(TailRepair::TruncatedTorn)
+    }
+}
+
+/// A cell with more than one journal record (retries append rather than
+/// rewrite, so duplicates are normal after a flaky run). Reported by
+/// [`fsck_journal`] so operators can see latest-record-wins in action.
+#[derive(Clone, Debug, Serialize)]
+pub struct DuplicateCell {
+    /// Flat cell index.
+    pub cell: u64,
+    /// How many records the journal holds for it.
+    pub records: usize,
+    /// `error_kind` of the *winning* (latest) record; empty = succeeded.
+    pub final_kind: String,
+}
+
+/// Outcome of [`fsck_journal`]: integrity findings plus what (if anything)
+/// was repaired.
+#[derive(Clone, Debug, Serialize)]
+pub struct FsckReport {
+    /// Journal path that was checked.
+    pub path: String,
+    /// Total well-formed records (including the unterminated-but-complete
+    /// final record, if any).
+    pub records: usize,
+    /// Distinct cells covered after latest-record-wins collapsing.
+    pub unique_cells: usize,
+    /// Cells whose winning record is a failure (`error_kind` non-empty).
+    pub failed_cells: usize,
+    /// Cells with more than one record, ascending by cell index.
+    pub duplicate_cells: Vec<DuplicateCell>,
+    /// Bytes of torn partial record at the tail (0 when none).
+    pub torn_tail_bytes: u64,
+    /// Final record is complete JSON but missing its `\n` terminator.
+    pub missing_terminator: bool,
+    /// Whether a requested repair rewrote the tail.
+    pub repaired: bool,
+}
+
+impl FsckReport {
+    /// Whether the journal needs (or needed) a tail repair.
+    pub fn dirty(&self) -> bool {
+        self.torn_tail_bytes > 0 || self.missing_terminator
+    }
+}
+
+/// Validates `path` as a cell journal and optionally repairs its tail.
+///
+/// * Well-formed records are tallied; duplicate cells are reported with
+///   their latest-record-wins winner.
+/// * A torn or unterminated *tail* is reported (and fixed when `repair`),
+///   exactly as [`Checkpoint::open`] would on resume.
+/// * A malformed line anywhere *else* cannot come from a crash and is a
+///   hard error — fsck refuses to guess which experiment the bytes
+///   belonged to.
+pub fn fsck_journal(path: &Path, repair: bool) -> Result<FsckReport, SimError> {
+    let text =
+        fs::read_to_string(path).map_err(|e| io_err(format!("read {}: {e}", path.display())))?;
+    let (terminated, tail) = split_terminated(&text);
+
+    let mut records = 0usize;
+    // cell -> (record count, latest error_kind), plus first-seen order.
+    let mut per_cell: HashMap<u64, (usize, String)> = HashMap::new();
+    for (i, line) in terminated.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: CellRecord = serde_json::from_str(line).map_err(|e| {
+            io_err(format!(
+                "corrupt journal {}: line {} is malformed ({e}); only the \
+                 final line may be damaged by a crash — this journal needs \
+                 manual triage, not fsck --repair",
+                path.display(),
+                i + 1,
+            ))
+        })?;
+        records += 1;
+        let entry = per_cell.entry(rec.cell).or_insert((0, String::new()));
+        entry.0 += 1;
+        entry.1 = rec.error_kind;
+    }
+
+    let mut torn_tail_bytes = 0u64;
+    let mut missing_terminator = false;
+    if !tail.is_empty() {
+        match serde_json::from_str::<CellRecord>(tail) {
+            Ok(rec) => {
+                missing_terminator = true;
+                records += 1;
+                let entry = per_cell.entry(rec.cell).or_insert((0, String::new()));
+                entry.0 += 1;
+                entry.1 = rec.error_kind;
+            }
+            Err(_) => torn_tail_bytes = tail.len() as u64,
+        }
+    }
+
+    let mut repaired = false;
+    if repair && (torn_tail_bytes > 0 || missing_terminator) {
+        repair_tail(path)?;
+        repaired = true;
+    }
+
+    let mut duplicate_cells: Vec<DuplicateCell> = per_cell
+        .iter()
+        .filter(|(_, (n, _))| *n > 1)
+        .map(|(&cell, (n, kind))| DuplicateCell { cell, records: *n, final_kind: kind.clone() })
+        .collect();
+    duplicate_cells.sort_by_key(|d| d.cell);
+    let failed_cells = per_cell.values().filter(|(_, kind)| !kind.is_empty()).count();
+
+    Ok(FsckReport {
+        path: path.display().to_string(),
+        records,
+        unique_cells: per_cell.len(),
+        failed_cells,
+        duplicate_cells,
+        torn_tail_bytes,
+        missing_terminator,
+        repaired,
+    })
 }
 
 #[cfg(test)]
@@ -398,6 +586,179 @@ mod tests {
         fs::write(&jpath, format!("garbage-not-json\n{text}")).unwrap();
         let err = Checkpoint::open(&dir, &m, true).unwrap_err();
         assert!(err.to_string().contains("corrupt journal"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The bug this PR fixes: resuming over a torn tail used to open the
+    /// append handle *after* the partial bytes, so the first new record
+    /// was glued onto the debris — tolerated on that resume, then fatal
+    /// interior corruption on the next one. Repair must keep appends
+    /// line-aligned across any number of crash/resume cycles.
+    #[test]
+    fn torn_tail_is_truncated_so_appends_stay_line_aligned() {
+        let dir = tmpdir("repair-torn");
+        let m = manifest(4);
+        let mut ck = Checkpoint::open(&dir, &m, false).unwrap();
+        ck.record(CellRecord {
+            cell: 0,
+            secs_bits: 0.5_f64.to_bits(),
+            cycles: 7,
+            attempts: 1,
+            error_kind: String::new(),
+        })
+        .unwrap();
+        drop(ck);
+        let jpath = Checkpoint::journal_path(&dir);
+        let mut f = OpenOptions::new().append(true).open(&jpath).unwrap();
+        f.write_all(b"{\"cell\": 3, \"secs_b").unwrap();
+        drop(f);
+
+        let mut ck = Checkpoint::open(&dir, &m, true).unwrap();
+        assert_eq!(ck.resumed_cells(), 1, "torn record dropped");
+        ck.record(CellRecord {
+            cell: 1,
+            secs_bits: 1.5_f64.to_bits(),
+            cycles: 9,
+            attempts: 1,
+            error_kind: String::new(),
+        })
+        .unwrap();
+        drop(ck);
+
+        // Second resume: without tail repair this failed with "corrupt
+        // journal" because cell 1's record was fused onto the torn bytes.
+        let ck = Checkpoint::open(&dir, &m, true).unwrap();
+        assert_eq!(ck.resumed_cells(), 2);
+        assert_eq!(ck.done(1).unwrap().secs(), 1.5);
+        assert!(ck.done(3).is_none(), "torn cell re-runs");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The zero-length torn-record case: the crash landed between writing
+    /// the record bytes and the `\n` terminator. The record is complete
+    /// and must be *kept* (terminator appended), not truncated away — and
+    /// the next append must not fuse onto it.
+    #[test]
+    fn unterminated_complete_record_is_terminated_not_glued() {
+        let dir = tmpdir("repair-unterm");
+        let m = manifest(4);
+        let mut ck = Checkpoint::open(&dir, &m, false).unwrap();
+        for cell in 0..2u64 {
+            ck.record(CellRecord {
+                cell,
+                secs_bits: (cell as f64).to_bits(),
+                cycles: cell,
+                attempts: 1,
+                error_kind: String::new(),
+            })
+            .unwrap();
+        }
+        drop(ck);
+        // Strip the final newline: complete record, zero-length torn tail.
+        let jpath = Checkpoint::journal_path(&dir);
+        let text = fs::read_to_string(&jpath).unwrap();
+        assert!(text.ends_with('\n'));
+        fs::write(&jpath, &text[..text.len() - 1]).unwrap();
+
+        let mut ck = Checkpoint::open(&dir, &m, true).unwrap();
+        assert_eq!(ck.resumed_cells(), 2, "complete unterminated record kept");
+        ck.record(CellRecord {
+            cell: 2,
+            secs_bits: 2.0_f64.to_bits(),
+            cycles: 2,
+            attempts: 1,
+            error_kind: String::new(),
+        })
+        .unwrap();
+        drop(ck);
+
+        let ck = Checkpoint::open(&dir, &m, true).unwrap();
+        assert_eq!(ck.resumed_cells(), 3, "no record lost, no line fused");
+        for cell in 0..3u64 {
+            assert_eq!(ck.done(cell).unwrap().secs(), cell as f64);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_reports_duplicates_and_repairs_torn_tail() {
+        let dir = tmpdir("fsck");
+        let m = manifest(4);
+        let mut ck = Checkpoint::open(&dir, &m, false).unwrap();
+        ck.record(CellRecord {
+            cell: 1,
+            secs_bits: f64::NAN.to_bits(),
+            cycles: 0,
+            attempts: 1,
+            error_kind: "deadline".into(),
+        })
+        .unwrap();
+        ck.record(CellRecord {
+            cell: 1,
+            secs_bits: 2.5_f64.to_bits(),
+            cycles: 10,
+            attempts: 2,
+            error_kind: String::new(),
+        })
+        .unwrap();
+        ck.record(CellRecord {
+            cell: 2,
+            secs_bits: f64::NAN.to_bits(),
+            cycles: 0,
+            attempts: 3,
+            error_kind: "cycle-budget".into(),
+        })
+        .unwrap();
+        drop(ck);
+        let jpath = Checkpoint::journal_path(&dir);
+        let mut f = OpenOptions::new().append(true).open(&jpath).unwrap();
+        f.write_all(b"{\"cell\": 3,").unwrap();
+        drop(f);
+
+        let report = fsck_journal(&jpath, false).unwrap();
+        assert_eq!(report.records, 3);
+        assert_eq!(report.unique_cells, 2);
+        assert_eq!(report.failed_cells, 1, "cell 1 healed by retry, cell 2 failed");
+        assert_eq!(report.duplicate_cells.len(), 1);
+        assert_eq!(report.duplicate_cells[0].cell, 1);
+        assert_eq!(report.duplicate_cells[0].records, 2);
+        assert_eq!(report.duplicate_cells[0].final_kind, "", "latest record wins");
+        assert_eq!(report.torn_tail_bytes, 11);
+        assert!(report.dirty() && !report.repaired, "validate-only leaves the file alone");
+
+        let report = fsck_journal(&jpath, true).unwrap();
+        assert!(report.repaired);
+        let report = fsck_journal(&jpath, false).unwrap();
+        assert!(!report.dirty(), "second fsck finds a clean journal");
+        assert_eq!(report.records, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_counts_unterminated_record_and_rejects_interior_corruption() {
+        let dir = tmpdir("fsck-unterm");
+        let m = manifest(4);
+        let mut ck = Checkpoint::open(&dir, &m, false).unwrap();
+        ck.record(CellRecord {
+            cell: 0,
+            secs_bits: 1.0_f64.to_bits(),
+            cycles: 1,
+            attempts: 1,
+            error_kind: String::new(),
+        })
+        .unwrap();
+        drop(ck);
+        let jpath = Checkpoint::journal_path(&dir);
+        let text = fs::read_to_string(&jpath).unwrap();
+        fs::write(&jpath, &text[..text.len() - 1]).unwrap();
+
+        let report = fsck_journal(&jpath, true).unwrap();
+        assert_eq!(report.records, 1, "complete unterminated record counted");
+        assert!(report.missing_terminator && report.repaired);
+
+        fs::write(&jpath, format!("not-json\n{text}")).unwrap();
+        let err = fsck_journal(&jpath, true).unwrap_err();
+        assert!(err.to_string().contains("manual triage"), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 

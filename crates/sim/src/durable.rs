@@ -37,6 +37,23 @@ pub const EXIT_USAGE: u8 = 2;
 /// "re-submit with --resume" from "inspect the failure report".
 pub const EXIT_CANCELLED: u8 = 130;
 
+/// The one exit-code mapping every binary (all 17 bench bins via
+/// `save_bench::run_main`, the `save-serve` daemon, the `surface` fsck
+/// subcommand) funnels through: cancellation outranks failures because a
+/// cancelled run is *resumable*, not broken — a scheduler that sees 130
+/// should resubmit with `--resume`, while 1 means "inspect the failure
+/// report". Usage errors short-circuit to [`EXIT_USAGE`] before any sweep
+/// state exists, so they are not part of this table.
+pub fn exit_code_for(cancelled: bool, clean: bool) -> u8 {
+    if cancelled {
+        EXIT_CANCELLED
+    } else if clean {
+        EXIT_OK
+    } else {
+        EXIT_FAILURES
+    }
+}
+
 /// Retry/deadline policy for one sweep's cells.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
@@ -155,6 +172,30 @@ mod tests {
             max_backoff: Duration::from_millis(4),
             deadline: None,
         }
+    }
+
+    /// The uniform exit-code mapping table (ISSUE 7 satellite): every
+    /// (cancelled, clean) combination maps to the documented code, and the
+    /// codes are the documented constants.
+    #[test]
+    fn exit_code_mapping_table() {
+        let table: &[(bool, bool, u8)] = &[
+            (false, true, EXIT_OK),        // clean sweep
+            (false, false, EXIT_FAILURES), // finished, some cells failed
+            (true, true, EXIT_CANCELLED),  // cancelled before any failure
+            (true, false, EXIT_CANCELLED), // cancellation outranks failures
+        ];
+        for &(cancelled, clean, want) in table {
+            assert_eq!(
+                exit_code_for(cancelled, clean),
+                want,
+                "exit_code_for({cancelled}, {clean})"
+            );
+        }
+        assert_eq!(EXIT_OK, 0);
+        assert_eq!(EXIT_FAILURES, 1);
+        assert_eq!(EXIT_USAGE, 2);
+        assert_eq!(EXIT_CANCELLED, 130, "128 + SIGINT, the shell convention");
     }
 
     #[test]

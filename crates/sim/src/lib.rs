@@ -37,14 +37,17 @@ pub mod parallel;
 pub mod policy;
 pub mod power;
 pub mod runner;
+pub mod spec;
 pub mod surface;
 
 pub use cancel::{CancelToken, Supervisor, SupervisorHandle, WatchGuard};
-pub use checkpoint::{CellRecord, Checkpoint, SweepManifest};
+pub use checkpoint::{fsck_journal, CellRecord, Checkpoint, FsckReport, SweepManifest};
 pub use durable::{
-    run_cell, CellRun, RetryPolicy, EXIT_CANCELLED, EXIT_FAILURES, EXIT_OK, EXIT_USAGE,
+    exit_code_for, run_cell, CellRun, RetryPolicy, EXIT_CANCELLED, EXIT_FAILURES, EXIT_OK,
+    EXIT_USAGE,
 };
 pub use error::{RetryClass, SimError};
+pub use spec::{CellSpec, CoreSel};
 pub use estimate::{
     Estimator, EstimatorConfig, EstimatorDurability, InferenceEstimate, TrainingEstimate,
 };

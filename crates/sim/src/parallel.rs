@@ -70,10 +70,12 @@ impl FailureReport {
         self.failures.is_empty()
     }
 
-    /// The process exit code a sweep binary should return: 0 when clean,
-    /// 1 when any job failed.
+    /// The process exit code a sweep binary should return — delegated to
+    /// the workspace-wide mapping [`crate::durable::exit_code_for`] so
+    /// every binary agrees (0 clean, 1 failures; cancellation is decided
+    /// higher up where the supervisor is visible).
     pub fn exit_code(&self) -> i32 {
-        if self.is_clean() { 0 } else { 1 }
+        crate::durable::exit_code_for(false, self.is_clean()) as i32
     }
 }
 

@@ -1,0 +1,200 @@
+//! Self-contained cell specifications — the unit of remote work.
+//!
+//! A [`CellSpec`] captures *everything* that determines one simulation
+//! cell's result: the workload (shape + sparsity + sparsity seed baked
+//! into [`GemmWorkload`]), the core operating point, the machine/memory
+//! configuration, the RNG seed, and whether numerical verification runs.
+//! Because the simulator is deterministic (DESIGN.md §1), two executions
+//! of the same spec — on different machines, in different processes, at
+//! different times — produce bit-identical seconds. That determinism is
+//! what makes the `save-serve` daemon's memo cache sound: results are
+//! keyed by [`CellSpec::cache_key`], a content hash over the spec's
+//! canonical JSON encoding, so a cache hit *is* a re-execution as far as
+//! the numbers are concerned.
+//!
+//! The bench binaries build specs with [`crate::surface::Surface::point_seed`]
+//! so a sweep submitted to a daemon reproduces `sweep_durable`'s bits
+//! exactly (the acceptance criterion for this subsystem).
+
+use crate::cancel::CancelToken;
+use crate::checkpoint::fnv1a;
+use crate::error::SimError;
+use crate::runner::{
+    run_kernel_cancel, run_kernel_custom_cancel, ConfigKind, KernelResult, MachineConfig,
+};
+use save_core::CoreConfig;
+use save_kernels::GemmWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Which core configuration a cell runs under: one of the paper's three
+/// named operating points, or an arbitrary ablation configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum CoreSel {
+    /// A named operating point ([`ConfigKind`]).
+    Kind {
+        /// The operating point.
+        kind: ConfigKind,
+    },
+    /// An explicit core configuration (ablation studies, Figs 17-19).
+    Custom {
+        /// The full configuration.
+        config: Box<CoreConfig>,
+    },
+}
+
+/// One fully-specified simulation cell (see module docs).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// The kernel to run (name, shape, sparsity levels and seed).
+    pub workload: GemmWorkload,
+    /// Core operating point.
+    pub core: CoreSel,
+    /// Machine/memory configuration and simulation mode.
+    pub machine: MachineConfig,
+    /// RNG seed for operand generation.
+    pub seed: u64,
+    /// Whether to verify numerical output against the reference.
+    pub verify: bool,
+}
+
+impl CellSpec {
+    /// Builds a spec for a named operating point.
+    pub fn new(workload: GemmWorkload, kind: ConfigKind, machine: MachineConfig, seed: u64) -> Self {
+        CellSpec { workload, core: CoreSel::Kind { kind }, machine, seed, verify: false }
+    }
+
+    /// Builds a spec for an explicit core configuration.
+    pub fn custom(
+        workload: GemmWorkload,
+        config: CoreConfig,
+        machine: MachineConfig,
+        seed: u64,
+    ) -> Self {
+        CellSpec {
+            workload,
+            core: CoreSel::Custom { config: Box::new(config) },
+            machine,
+            seed,
+            verify: false,
+        }
+    }
+
+    /// The spec's canonical JSON encoding — also the wire format.
+    pub fn canonical_json(&self) -> Result<String, SimError> {
+        serde_json::to_string(self)
+            .map_err(|e| SimError::Protocol { what: format!("serialize cell spec: {e}") })
+    }
+
+    /// Content hash over the canonical encoding: the memo-cache key. Two
+    /// specs share a key iff every field that can influence the result is
+    /// identical (field order is fixed by the derive, so the encoding is
+    /// canonical by construction).
+    pub fn cache_key(&self) -> Result<u64, SimError> {
+        Ok(fnv1a(self.canonical_json()?.as_bytes()))
+    }
+
+    /// Executes the cell, honouring an optional cooperative cancel token.
+    pub fn run(&self, cancel: Option<&CancelToken>) -> Result<KernelResult, SimError> {
+        match &self.core {
+            CoreSel::Kind { kind } => run_kernel_cancel(
+                &self.workload,
+                *kind,
+                &self.machine,
+                self.seed,
+                self.verify,
+                cancel,
+            ),
+            CoreSel::Custom { config } => run_kernel_custom_cancel(
+                &self.workload,
+                config,
+                &self.machine,
+                self.seed,
+                self.verify,
+                cancel,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surface::Surface;
+    use save_kernels::{BroadcastPattern, GemmKernelSpec, Precision};
+
+    fn tiny() -> GemmWorkload {
+        GemmWorkload::dense(
+            "tiny",
+            GemmKernelSpec {
+                m_tiles: 4,
+                n_vecs: 2,
+                pattern: BroadcastPattern::Explicit,
+                precision: Precision::F32,
+            },
+            16,
+            2,
+        )
+        .with_sparsity(0.3, 0.3)
+    }
+
+    #[test]
+    fn cache_key_is_deterministic_and_input_sensitive() {
+        let spec = CellSpec::new(tiny(), ConfigKind::Save2Vpu, MachineConfig::default(), 7);
+        let k1 = spec.cache_key().unwrap();
+        let k2 = spec.clone().cache_key().unwrap();
+        assert_eq!(k1, k2, "same spec, same key");
+
+        let mut other = spec.clone();
+        other.seed = 8;
+        assert_ne!(k1, other.cache_key().unwrap(), "seed is part of the key");
+
+        let other = CellSpec::new(tiny(), ConfigKind::Baseline, MachineConfig::default(), 7);
+        assert_ne!(k1, other.cache_key().unwrap(), "operating point is part of the key");
+
+        let other = CellSpec::new(
+            tiny().with_sparsity(0.3, 0.4),
+            ConfigKind::Save2Vpu,
+            MachineConfig::default(),
+            7,
+        );
+        assert_ne!(k1, other.cache_key().unwrap(), "sparsity is part of the key");
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = CellSpec::custom(
+            tiny(),
+            ConfigKind::Save1Vpu.core_config(),
+            MachineConfig::default(),
+            3,
+        );
+        let wire = spec.canonical_json().unwrap();
+        let back: CellSpec = serde_json::from_str(&wire).unwrap();
+        assert_eq!(spec.cache_key().unwrap(), back.cache_key().unwrap());
+    }
+
+    /// The bit-identity contract: a spec built with [`Surface::point_seed`]
+    /// reproduces the exact bits a local [`Surface::sweep`] records for the
+    /// same grid point — this is what lets a daemon-side cache substitute
+    /// for local execution.
+    #[test]
+    fn spec_execution_matches_local_sweep_bits() {
+        let w = tiny();
+        let (a, b) = (0.5, 0.25);
+        let surf =
+            Surface::sweep(&w, ConfigKind::Save2Vpu, &MachineConfig::default(), &[a], &[b], 1)
+                .unwrap();
+        let spec = CellSpec::new(
+            w.with_sparsity(a, b),
+            ConfigKind::Save2Vpu,
+            MachineConfig::default(),
+            Surface::point_seed(a, b),
+        );
+        let remote = spec.run(None).unwrap();
+        assert_eq!(
+            remote.seconds.to_bits(),
+            surf.secs[0].to_bits(),
+            "remote execution must be bit-identical to the local sweep"
+        );
+    }
+}
