@@ -111,28 +111,47 @@ fn body(
         set.iter().filter(|k| !k.is_lstm).count(),
         set.iter().filter(|k| k.is_lstm).count());
 
+    // Build the whole sweep as one batched cell list, kernel-major so the
+    // cells sharing a functional trace (one kernel x corner across the
+    // baseline and both VPU panels) are adjacent — the local trace store
+    // is FIFO-bounded, and a daemon sees the entire figure in a single
+    // round trip instead of one per cell. The baseline cell's label is
+    // shared across the 2-VPU and 1-VPU panels (it appears once in the
+    // batch), so each baseline is computed exactly once wherever the
+    // batch lands: checkpoint journal, daemon memo, or local memo.
+    let mut cells: Vec<(String, CellSpec)> = Vec::new();
+    for prec in [Precision::F32, Precision::Mixed] {
+        for k in &set {
+            let w0 = (k.make)(prec);
+            for (i, &(a, b)) in corners.iter().enumerate() {
+                let w = w0.clone().with_sparsity(a, b);
+                let seed = 1000 + i as u64;
+                cells.push((
+                    format!("{} {prec} base corner{i}", k.name),
+                    CellSpec::new(w.clone(), ConfigKind::Baseline, machine, seed),
+                ));
+                for (vpus, kind) in [(2usize, ConfigKind::Save2Vpu), (1, ConfigKind::Save1Vpu)] {
+                    cells.push((
+                        format!("{} {prec} {vpus}vpu corner{i}", k.name),
+                        CellSpec::new(w.clone(), kind, machine, seed),
+                    ));
+                }
+            }
+        }
+    }
+    let secs = session.spec_seconds_batch(&cells);
+    let by_label: std::collections::HashMap<&str, f64> =
+        cells.iter().map(|(l, _)| l.as_str()).zip(secs).collect();
+
     let mut records: Vec<CapRecord> = Vec::new();
     for prec in [Precision::F32, Precision::Mixed] {
-        for (vpus, kind) in [(2usize, ConfigKind::Save2Vpu), (1, ConfigKind::Save1Vpu)] {
+        for (vpus, _) in [(2usize, ConfigKind::Save2Vpu), (1, ConfigKind::Save1Vpu)] {
             for k in &set {
-                let w0 = (k.make)(prec);
                 let mut cap = 0.0f64;
-                for (i, &(a, b)) in corners.iter().enumerate() {
-                    let w = w0.clone().with_sparsity(a, b);
-                    let seed = 1000 + i as u64;
-                    // Two spec cells per corner instead of one opaque ratio
-                    // closure: the baseline cell's label is shared across
-                    // the 2-VPU and 1-VPU panels, so a checkpoint (or a
-                    // save-serve daemon's memo cache, with `--serve`)
-                    // computes each baseline exactly once.
-                    let tb = session.spec_seconds(
-                        &format!("{} {prec} base corner{i}", k.name),
-                        &CellSpec::new(w.clone(), ConfigKind::Baseline, machine, seed),
-                    );
-                    let ts = session.spec_seconds(
-                        &format!("{} {prec} {vpus}vpu corner{i}", k.name),
-                        &CellSpec::new(w, kind, machine, seed),
-                    );
+                for i in 0..corners.len() {
+                    let tb = by_label[format!("{} {prec} base corner{i}", k.name).as_str()];
+                    let ts =
+                        by_label[format!("{} {prec} {vpus}vpu corner{i}", k.name).as_str()];
                     let ratio = tb / ts;
                     if ratio.is_finite() {
                         cap = cap.max(ratio);

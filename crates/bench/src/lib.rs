@@ -30,7 +30,7 @@ use save_sim::durable::{exit_code_for, run_cell, RetryPolicy, EXIT_FAILURES, EXI
 use save_sim::error::{RetryClass, SimError};
 use save_sim::parallel::{FailureReport, JobFailure};
 use save_sim::spec::CellSpec;
-use save_sim::{CancelToken, Supervisor, SupervisorHandle};
+use save_sim::{CancelToken, Supervisor, SupervisorHandle, TraceStore};
 use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;
@@ -529,6 +529,185 @@ impl SweepSession {
         }
         let spec = spec.clone();
         self.seconds(label, move |tok| spec.run(Some(tok)).map(|r| r.seconds))
+    }
+
+    /// Batched [`SweepSession::spec_seconds`]: resolves every
+    /// `(label, spec)` cell and returns their seconds in submission order.
+    ///
+    /// With `--serve`, every not-yet-journaled cell goes to the daemon in
+    /// **one** submission — one round trip for the whole batch instead of
+    /// one per cell — so the daemon's content-hash memo deduplicates
+    /// shared cells (fig16's per-panel baseline resubmissions, repeated
+    /// VGG shapes) server-side within the batch. Locally — no daemon, or
+    /// after degrading — the batch runs through one shared [`TraceStore`],
+    /// so each distinct functional key is executed once and every other
+    /// cell replays its trace or is served from the full-result memo,
+    /// bit-identically (DESIGN.md §5h).
+    pub fn spec_seconds_batch(&mut self, cells: &[(String, CellSpec)]) -> Vec<f64> {
+        let mut out = vec![f64::NAN; cells.len()];
+        let mut resolved = vec![false; cells.len()];
+
+        // Journaled cells replay from the checkpoint without network or
+        // execution (the closure below never runs for them).
+        for (i, (label, spec)) in cells.iter().enumerate() {
+            let journaled = self
+                .checkpoint
+                .as_ref()
+                .and_then(|c| c.done(fnv1a(label.as_bytes())))
+                .is_some();
+            if journaled {
+                let spec = spec.clone();
+                out[i] = self.seconds(label, move |tok| {
+                    spec.run(Some(tok)).map(|r| r.seconds)
+                });
+                resolved[i] = true;
+            }
+        }
+
+        if self.serve_addr.is_some() && !self.serve_degraded {
+            let pending: Vec<usize> =
+                (0..cells.len()).filter(|&i| !resolved[i]).collect();
+            if !pending.is_empty() {
+                for (slot, secs) in self.remote_seconds_batch(cells, &pending) {
+                    out[slot] = secs;
+                    resolved[slot] = true;
+                }
+            }
+        }
+
+        // Local execution for whatever the daemon didn't answer, sharing
+        // one bounded trace store across the batch.
+        let store = TraceStore::with_capacity(8);
+        for (i, (label, spec)) in cells.iter().enumerate() {
+            if resolved[i] {
+                continue;
+            }
+            let spec = spec.clone();
+            let store = &store;
+            out[i] = self.seconds(label, move |tok| {
+                spec.run_traced(Some(tok), store).map(|r| r.seconds)
+            });
+        }
+        out
+    }
+
+    /// One batched submission of `pending` (indices into `cells`) to the
+    /// daemon. Returns definitive `(index, secs)` outcomes; results the
+    /// daemon never delivered — transport failure mid-stream, refused
+    /// connection — are simply absent, and the caller runs them locally
+    /// (transport failures latch degraded mode exactly like
+    /// [`SweepSession::remote_seconds`]). Delivered results are journaled
+    /// and counted identically to the one-cell path.
+    fn remote_seconds_batch(
+        &mut self,
+        cells: &[(String, CellSpec)],
+        pending: &[usize],
+    ) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        if self.cancelled || self.sup.global().is_cancelled() {
+            self.cancelled = true;
+            self.jobs += pending.len();
+            return pending.iter().map(|&s| (s, f64::NAN)).collect();
+        }
+        let Some(addr) = self.serve_addr.clone() else {
+            return out;
+        };
+        if self.serve_client.is_none() {
+            match Client::connect(&addr) {
+                Ok(c) => self.serve_client = Some(c),
+                Err(e) => {
+                    eprintln!(
+                        "[{}] --serve {addr} unavailable ([{}] {e}); degrading to local execution",
+                        self.name,
+                        e.kind()
+                    );
+                    self.serve_degraded = true;
+                    return out;
+                }
+            }
+        }
+        let named: Vec<NamedCell> = pending
+            .iter()
+            .map(|&i| NamedCell {
+                label: cells[i].0.clone(),
+                spec: cells[i].1.clone(),
+                fault: None,
+            })
+            .collect();
+        let mut got: Vec<Option<CellResult>> = vec![None; named.len()];
+        let outcome = self
+            .serve_client
+            .as_mut()
+            .expect("connected above")
+            .submit(&format!("{}:batch", self.name), &named, |r| {
+                if let Some(slot) = got.get_mut(r.index as usize) {
+                    *slot = Some(r.clone());
+                }
+            });
+        let done = match outcome {
+            Ok(done) => Some(done),
+            Err(e) => {
+                eprintln!(
+                    "[{}] --serve {addr} failed ([{}] {e}); degrading to local execution",
+                    self.name,
+                    e.kind()
+                );
+                self.serve_degraded = true;
+                self.serve_client = None;
+                None
+            }
+        };
+        let daemon_cancelled = done.as_ref().is_some_and(|d| d.cancelled);
+        for (k, result) in got.into_iter().enumerate() {
+            let slot = pending[k];
+            let label = &cells[slot].0;
+            let Some(result) = result else {
+                if daemon_cancelled {
+                    // Daemon cancelled before this cell ran: resumable,
+                    // not journaled, not run locally.
+                    self.cancelled = true;
+                    self.jobs += 1;
+                    out.push((slot, f64::NAN));
+                }
+                continue;
+            };
+            self.served += 1;
+            let job = self.jobs;
+            self.jobs += 1;
+            if result.error_kind == "cancelled" {
+                self.cancelled = true;
+                out.push((slot, f64::NAN));
+                continue;
+            }
+            if !result.ok() {
+                eprintln!(
+                    "[{}] job {job} ({label}) failed on daemon after {} attempt(s): [{}]",
+                    self.name, result.attempts, result.error_kind
+                );
+                self.failures.push(JobFailure {
+                    job,
+                    label: Some(label.to_string()),
+                    attempts: result.attempts.max(1) as usize,
+                    error: SimError::Io {
+                        what: format!("remote cell failed (kind: {})", result.error_kind),
+                    },
+                });
+            }
+            if let Some(ck) = self.checkpoint.as_mut() {
+                let rec = CellRecord {
+                    cell: fnv1a(label.as_bytes()),
+                    secs_bits: result.secs_bits,
+                    cycles: result.cycles,
+                    attempts: result.attempts,
+                    error_kind: result.error_kind.clone(),
+                };
+                if let Err(e) = ck.record(rec) {
+                    eprintln!("[{}] journal append failed: {e}", self.name);
+                }
+            }
+            out.push((slot, result.secs()));
+        }
+        out
     }
 
     /// Number of cells answered by the daemon so far (`--serve` mode).

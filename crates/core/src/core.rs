@@ -12,6 +12,7 @@ use crate::diag::{StallCause, StallDiag};
 use crate::fault::{self, FaultKind, FaultPlan};
 use crate::lsu::{LoadEvent, Lsu};
 use crate::mgu;
+use crate::replay::{FuncTrace, Recorder};
 use crate::sanitizer::{Sanitizer, SanitizerReport};
 use crate::rename::{PhysRegFile, RenameTable, ALL_LANES};
 use crate::rob::{Rob, RobKind};
@@ -70,6 +71,16 @@ struct Watcher {
     remaining: u16,
 }
 
+/// Outcome of one ELM-generation attempt in [`Core::run_mgus`].
+enum MguTry {
+    /// No longer a pending candidate (left the RS, or already generated).
+    Stale,
+    /// Operands not yet ready; the VFMA stays queued.
+    NotReady,
+    /// ELM generated this cycle, consuming MGU bandwidth.
+    Generated,
+}
+
 /// The out-of-order core.
 pub struct Core {
     cfg: CoreConfig,
@@ -96,6 +107,22 @@ pub struct Core {
     san: Option<Box<Sanitizer>>,
     fault_pending: Option<FaultPlan>,
     model_fault: Option<SanitizerReport>,
+    // Functional-trace record/replay (see `crate::replay`). Allocation
+    // sequence counters index the trace: the k-th allocated FMA/load is the
+    // same static operation under every timing configuration.
+    fma_seq: u64,
+    load_seq: u64,
+    rec: Option<Box<Recorder>>,
+    rep: Option<Arc<FuncTrace>>,
+    // ROB ids of VFMAs still awaiting ELM generation, allocation (=
+    // program) order. `run_mgus` walks this instead of the whole station;
+    // a reorder fault falls back to the full scan (see `Rs::order_intact`).
+    elm_queue: Vec<RobId>,
+    elm_scratch: Vec<RobId>,
+    // `SAVE_DEBUG_IDLE` probed once at construction: the per-cycle
+    // `env::var_os` call used to rescan the environment on every idle
+    // cycle, which is pure host overhead on memory-bound kernels.
+    debug_idle: bool,
     // Reusable per-cycle buffers: the cycle loop allocates nothing in
     // steady state (see DESIGN.md, host performance).
     sx: sched::SelectScratch,
@@ -155,6 +182,13 @@ impl Core {
             // only, so it requires checking to be enabled.
             fault_pending: if cfg.sanitize.enabled() { cfg.fault } else { None },
             model_fault: None,
+            fma_seq: 0,
+            load_seq: 0,
+            rec: None,
+            rep: None,
+            elm_queue: Vec::new(),
+            elm_scratch: Vec::new(),
+            debug_idle: std::env::var_os("SAVE_DEBUG_IDLE").is_some(),
             sx: sched::SelectScratch::new(),
             ops_buf: Vec::new(),
             vpu_done: Vec::new(),
@@ -219,9 +253,34 @@ impl Core {
     }
 
     /// Attaches a pipeline tracer (see [`crate::trace`]). Costs nothing
-    /// when unset.
+    /// when unset. Also disables event-driven fast-forward for this core:
+    /// skipped inert cycles would be invisible to the tracer, truncating
+    /// the event stream (cycle counts and statistics are unaffected either
+    /// way — fast-forward is observationally pure for those).
     pub fn set_tracer(&mut self, t: Box<dyn Tracer>) {
         self.tracer = Some(t);
+    }
+
+    /// Arms functional-trace recording (see [`crate::replay`]). Recording
+    /// only copies out facts the run computes anyway, so a recording run's
+    /// timing, statistics and outputs are bit-identical to a plain run.
+    pub fn set_record(&mut self) {
+        self.rec = Some(Box::new(Recorder::new()));
+    }
+
+    /// Finalizes and returns the trace recorded since [`Core::set_record`];
+    /// `None` when recording was never armed. Check
+    /// [`FuncTrace::replayable`] before reusing the result.
+    pub fn take_trace(&mut self) -> Option<FuncTrace> {
+        self.rec.take().map(|r| r.finalize())
+    }
+
+    /// Attaches a functional trace for replay: loads deliver zero with
+    /// their recorded class, MGUs serve recorded masks, and schedulers
+    /// elide value math — cycles, [`CoreStats`] and scheduling decisions
+    /// are bit-identical to direct execution of the recorded program.
+    pub fn set_replay(&mut self, t: Arc<FuncTrace>) {
+        self.rep = Some(t);
     }
 
     fn trace(&mut self, ev: TraceEvent) {
@@ -272,6 +331,20 @@ impl Core {
     /// reset state).
     pub fn run(
         mut self,
+        program: &Program,
+        mem: &mut save_isa::Memory,
+        cmem: &mut CoreMemory,
+        uncore: &mut Uncore,
+    ) -> RunOutcome {
+        self.run_mut(program, mem, cmem, uncore)
+    }
+
+    /// In-place variant of [`Core::run`] for callers that need the core
+    /// after the run (e.g. to [`Core::take_trace`] a recorded trace). The
+    /// core is spent once the outcome returns — further steps report the
+    /// finished outcome.
+    pub fn run_mut(
+        &mut self,
         program: &Program,
         mem: &mut save_isa::Memory,
         cmem: &mut CoreMemory,
@@ -414,6 +487,8 @@ impl Core {
                 cycle,
                 &mut self.stats,
                 &mut stores_done,
+                self.rec.as_deref_mut(),
+                self.rep.as_deref(),
             );
             for r in stores_done.drain(..) {
                 if !self.rob.mark_done(r) {
@@ -476,6 +551,8 @@ impl Core {
                 &mut self.stats,
                 &mut self.sx,
                 &mut ops,
+                self.rec.as_deref_mut(),
+                self.rep.is_some(),
             );
             if let Some(plan) = issue_fault {
                 if fault::apply_issue_fault(plan, &mut ops, &rots) {
@@ -503,9 +580,7 @@ impl Core {
                 let has_fma = self.rs.iter().any(|e| matches!(e, RsEntry::Fma(_)));
                 if has_fma {
                     self.stats.vpu_idle_not_ready += 1;
-                    if std::env::var_os("SAVE_DEBUG_IDLE").is_some()
-                        && self.stats.vpu_idle_not_ready % 97 == 1
-                    {
+                    if self.debug_idle && self.stats.vpu_idle_not_ready % 97 == 1 {
                         let mut wait_a = 0;
                         let mut wait_b = 0;
                         let mut wait_acc = 0;
@@ -605,12 +680,20 @@ impl Core {
                         cycle,
                     );
                     // B$ freshness: audit one entry per scan, round-robin.
+                    // Under replay the functional arena is empty, so the
+                    // expected masks come from the trace (the recorder
+                    // poisons any trace whose line masks went stale).
                     if let Some(n) = cmem.bcast_entries() {
                         if n > 0 {
                             let idx = s.next_bcast_idx(n);
-                            let stale = cmem.audit_bcast_entry(idx, |line| {
-                                crate::lsu::line_zero_mask(mem, line * save_mem::LINE_BYTES)
-                            });
+                            let stale = match self.rep.as_deref() {
+                                Some(t) => cmem.audit_bcast_entry(idx, |line| {
+                                    t.bcast_lines.get(&line).copied().unwrap_or(0)
+                                }),
+                                None => cmem.audit_bcast_entry(idx, |line| {
+                                    crate::lsu::line_zero_mask(mem, line * save_mem::LINE_BYTES)
+                                }),
+                            };
                             if let Some((line, stored, actual)) = stale {
                                 s.report_bcast_stale(cycle, line, stored, actual);
                             }
@@ -720,10 +803,17 @@ impl Core {
 
     /// Whether event-driven fast-forward may engage at all. Forced off
     /// while a fault plan is configured (faults fire on absolute cycles and
-    /// may retry every cycle) or a commit limit is active (the precise-state
-    /// harness inspects the core at an exact µop boundary).
+    /// may retry every cycle), a commit limit is active (the precise-state
+    /// harness inspects the core at an exact µop boundary), or a tracer is
+    /// attached (skipped cycles would be invisible to it, truncating the
+    /// event stream). Trace *recording* is unaffected: every recorded fact
+    /// comes from MGU/LSU/issue activity, which never occurs in an inert
+    /// cycle, so a recording run fast-forwards exactly like a plain one.
     fn ff_allowed(&self) -> bool {
-        self.cfg.fast_forward && self.cfg.fault.is_none() && self.uop_commit_limit.is_none()
+        self.cfg.fast_forward
+            && self.cfg.fault.is_none()
+            && self.uop_commit_limit.is_none()
+            && self.tracer.is_none()
     }
 
     /// If the core just executed a provably inert cycle, returns the next
@@ -1008,23 +1098,83 @@ impl Core {
 
     fn run_mgus(&mut self, cycle: u64) {
         let mut budget = self.cfg.issue_width;
-        let trace_on = self.tracer.is_some();
-        for pos in 0..self.rs.len() {
-            if budget == 0 {
-                break;
-            }
-            // Watchers are pushed straight into `self.watchers` (a distinct
-            // field, so the entry borrow allows it); only the BS-skip trace
-            // needs `&mut self` and is emitted after the borrow ends.
-            let skipped_rob = {
-                let f = match self.rs.at_mut(pos) {
-                    RsEntry::Fma(f) => f,
-                    _ => continue,
-                };
-                if f.elm_ready || !self.prf.fully_ready(f.a) || !self.prf.fully_ready(f.b) {
-                    continue;
+        if self.rs.order_intact() {
+            // Fast path: only VFMAs still awaiting ELM generation are
+            // visited (the queue is allocation = program order), so a
+            // station full of already-masked VFMAs costs the MGUs nothing.
+            if !self.elm_queue.is_empty() {
+                let queue = std::mem::take(&mut self.elm_queue);
+                let mut kept = std::mem::take(&mut self.elm_scratch);
+                kept.clear();
+                for (qi, &rob) in queue.iter().enumerate() {
+                    if budget == 0 {
+                        kept.extend_from_slice(&queue[qi..]);
+                        break;
+                    }
+                    let Some(pos) = self.rs.pos_of(rob) else { continue };
+                    match self.mgu_try_generate(pos, cycle) {
+                        MguTry::Stale => {}
+                        MguTry::NotReady => kept.push(rob),
+                        MguTry::Generated => budget -= 1,
+                    }
                 }
-                budget -= 1;
+                self.elm_queue = kept;
+                self.elm_scratch = queue;
+                self.elm_scratch.clear();
+            }
+        } else {
+            // A reorder fault permuted the station: walk the full
+            // (permuted) program order, exactly like the pre-index scan
+            // the fault was written against.
+            for pos in 0..self.rs.len() {
+                if budget == 0 {
+                    break;
+                }
+                if matches!(self.mgu_try_generate(pos, cycle), MguTry::Generated) {
+                    budget -= 1;
+                }
+            }
+        }
+        // Newly created watchers may copy already-ready lanes this cycle.
+        self.run_watchers();
+    }
+
+    /// One ELM-generation attempt for the RS entry at program-order
+    /// position `pos` (the body of [`Core::run_mgus`]'s per-entry step).
+    fn mgu_try_generate(&mut self, pos: usize, cycle: u64) -> MguTry {
+        let trace_on = self.tracer.is_some();
+        // Watchers are pushed straight into `self.watchers` (a distinct
+        // field, so the entry borrow allows it); only the BS-skip trace
+        // needs `&mut self` and is emitted after the borrow ends.
+        let skipped_rob = {
+            let f = match self.rs.at_mut(pos) {
+                RsEntry::Fma(f) => f,
+                _ => return MguTry::Stale,
+            };
+            if f.elm_ready {
+                return MguTry::Stale;
+            }
+            if !self.prf.fully_ready(f.a) || !self.prf.fully_ready(f.b) {
+                return MguTry::NotReady;
+            }
+            if let Some(t) = self.rep.as_deref() {
+                // Replay: operand values are all zero, so the masks must
+                // come from the trace — they are what drives coalescing,
+                // BS skipping and pass-through, and serving them keeps
+                // every downstream decision bit-identical to the
+                // recorded run. Readiness gating above is unchanged, so
+                // mask *generation timing* is identical too.
+                let r = t.fma.get(f.seq as usize).copied().unwrap_or(crate::replay::FmaRec {
+                    elm: 0,
+                    ml: 0,
+                });
+                f.elm = r.elm;
+                f.orig_elm = r.elm;
+                if f.precision == FmaPrecision::Bf16 {
+                    f.ml = r.ml;
+                    f.orig_ml = r.ml;
+                }
+            } else {
                 match f.precision {
                     FmaPrecision::F32 => {
                         let elm = mgu::elm_f32(self.prf.value(f.a), self.prf.value(f.b), f.wm);
@@ -1039,29 +1189,31 @@ impl Core {
                         f.orig_elm = al;
                     }
                 }
-                f.elm_ready = true;
-                self.stats.lanes_effectual += f.orig_elm.count_ones() as u64;
-                if f.orig_elm == 0 {
-                    self.stats.fmas_skipped_bs += 1;
-                }
-                let passthrough = !f.orig_elm;
-                if passthrough != 0 {
-                    self.watchers.push(Watcher {
-                        src: f.acc_src,
-                        dst: f.acc_dst,
-                        remaining: passthrough,
-                    });
-                }
-                (f.orig_elm == 0).then_some(f.rob)
-            };
-            if trace_on {
-                if let Some(rob) = skipped_rob {
-                    self.trace(TraceEvent::BsSkip { cycle, rob });
+                if let Some(r) = self.rec.as_deref_mut() {
+                    r.record_fma(f.seq, f.orig_elm, f.orig_ml);
                 }
             }
+            f.elm_ready = true;
+            self.stats.lanes_effectual += f.orig_elm.count_ones() as u64;
+            if f.orig_elm == 0 {
+                self.stats.fmas_skipped_bs += 1;
+            }
+            let passthrough = !f.orig_elm;
+            if passthrough != 0 {
+                self.watchers.push(Watcher {
+                    src: f.acc_src,
+                    dst: f.acc_dst,
+                    remaining: passthrough,
+                });
+            }
+            (f.orig_elm == 0).then_some(f.rob)
+        };
+        if trace_on {
+            if let Some(rob) = skipped_rob {
+                self.trace(TraceEvent::BsSkip { cycle, rob });
+            }
         }
-        // Newly created watchers may copy already-ready lanes this cycle.
-        self.run_watchers();
+        MguTry::Generated
     }
 
     /// Attempts to allocate one µop; returns `false` on a structural stall.
@@ -1124,12 +1276,15 @@ impl Core {
                     dst.map(|r| (r, p)),
                 );
                 self.last_alloc_rob = rob;
+                let seq = self.load_seq;
+                self.load_seq += 1;
                 self.rs.push(RsEntry::Load(crate::rs::LoadEntry {
                     rob,
                     dst: p,
                     addr,
                     value_addr,
                     kind,
+                    seq,
                 }));
             }
             Uop::Store { src, addr } => {
@@ -1206,8 +1361,11 @@ impl Core {
                 self.fma_producer[acc.index()] = Some(rob);
                 self.stats.fma_uops += 1;
                 self.stats.lanes_total += LANES as u64;
+                let seq = self.fma_seq;
+                self.fma_seq += 1;
                 let entry = FmaEntry {
                     rob,
+                    seq,
                     precision,
                     acc_log: acc,
                     rot,
@@ -1230,6 +1388,11 @@ impl Core {
                     s.on_fma_alloc(&entry, self.cfg.scheduler == SchedulerKind::Baseline);
                 }
                 self.rs.push(RsEntry::Fma(entry));
+                // Baseline never runs the MGUs, so only SAVE schedulers
+                // queue the VFMA for ELM generation.
+                if self.cfg.scheduler != SchedulerKind::Baseline {
+                    self.elm_queue.push(rob);
+                }
             }
         }
         true

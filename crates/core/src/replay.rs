@@ -1,0 +1,196 @@
+//! Functional trace record/replay: execute once, time many.
+//!
+//! A *functional trace* captures everything a kernel run computes that a
+//! different timing configuration would have to recompute identically: the
+//! per-VFMA Effectual Lane Mask (and the mixed-precision multiplicand-lane
+//! mask), the per-load broadcast classification (element-zero flag and the
+//! cache line's zero mask, which drive the B$ model), and the zero masks of
+//! every broadcast-touched line (served to the sanitizer's freshness audit).
+//! The µop stream itself is *not* stored here — replay re-executes the same
+//! [`save_isa::Program`] through allocation/rename, so all addresses and
+//! structural state regenerate exactly; only memory values and FMA math are
+//! elided.
+//!
+//! Indexing is by **allocation sequence**: the k-th VFMA (respectively the
+//! k-th load) allocated into the reservation station is the same static
+//! operation under every timing configuration, because allocation consumes
+//! the cracked µop stream strictly in program order. Stall patterns shift
+//! *when* an operation allocates, never *which* operation is next.
+//!
+//! The replay invariant (DESIGN.md §5h): with a trace attached, every load
+//! writes [`save_isa::VecF32::ZERO`], `Zero` µops write zero, and the
+//! schedulers elide lane math to literal `+0.0` — which is bit-identical to
+//! computing it, since `mul_add(0, 0, 0) == +0.0` and `bf16(0) == 0`. All
+//! readiness bits, masks, latencies and port decisions are value-independent
+//! once the ELM and load class come from the trace, so replayed cycle counts
+//! and [`crate::CoreStats`] are bit-identical to direct execution.
+
+use std::collections::HashMap;
+
+/// Per-VFMA functional facts, indexed by FMA allocation sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FmaRec {
+    /// The Effectual Lane Mask as generated (accumulator lanes for MP).
+    pub elm: u16,
+    /// The multiplicand-lane mask as generated (MP only; 0 for F32).
+    pub ml: u32,
+}
+
+/// Per-load functional facts, indexed by load allocation sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadRec {
+    /// `Some((elem_zero, line_zero_mask))` for broadcast loads — the inputs
+    /// to the B$ model — `None` for vector loads.
+    pub bcast: Option<(bool, u16)>,
+}
+
+/// A completed functional trace: everything replay serves in place of
+/// functional memory and FMA math.
+#[derive(Clone, Debug, Default)]
+pub struct FuncTrace {
+    /// Per-VFMA records, by FMA allocation sequence.
+    pub fma: Vec<FmaRec>,
+    /// Per-load records, by load allocation sequence.
+    pub load: Vec<LoadRec>,
+    /// Zero mask per broadcast-touched cache line (keyed by line index),
+    /// served to the sanitizer's B$ freshness audit.
+    pub bcast_lines: HashMap<u64, u16>,
+    /// `false` when the recording detected a pattern replay cannot serve
+    /// bit-identically (a store overlapping a broadcast-touched line, or an
+    /// operation that never produced its record). Unreplayable traces must
+    /// be discarded; callers fall back to direct execution.
+    pub replayable: bool,
+}
+
+/// Accumulates a [`FuncTrace`] during a recorded run.
+///
+/// Recording is observationally pure: the recorder only *copies out* facts
+/// the direct run computes anyway (ELMs in the MGUs, load classes in the
+/// LSU), so a recording run's cycles, statistics and outputs are bit-exact
+/// with a plain run — which is why a sweep can use its recording run as the
+/// first timed cell ("record and use").
+#[derive(Debug, Default)]
+pub struct Recorder {
+    fma: Vec<Option<FmaRec>>,
+    load: Vec<Option<LoadRec>>,
+    bcast_lines: HashMap<u64, u16>,
+    poisoned: bool,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot<T>(v: &mut Vec<Option<T>>, seq: u64) -> &mut Option<T> {
+        let i = seq as usize;
+        if i >= v.len() {
+            v.resize_with(i + 1, || None);
+        }
+        &mut v[i]
+    }
+
+    /// Records the generated masks of the VFMA with allocation sequence
+    /// `seq`.
+    pub fn record_fma(&mut self, seq: u64, elm: u16, ml: u32) {
+        *Self::slot(&mut self.fma, seq) = Some(FmaRec { elm, ml });
+    }
+
+    /// Records the functional classification of the load with allocation
+    /// sequence `seq` (`None` bcast payload = vector load).
+    pub fn record_load(&mut self, seq: u64, bcast: Option<(bool, u16)>) {
+        *Self::slot(&mut self.load, seq) = Some(LoadRec { bcast });
+    }
+
+    /// Records the zero mask of a broadcast-touched cache line (by line
+    /// index). A second sighting with a different mask means the line
+    /// changed between broadcast loads — unreplayable, so the trace is
+    /// poisoned.
+    pub fn record_bcast_line(&mut self, line: u64, mask: u16) {
+        match self.bcast_lines.get(&line) {
+            Some(&m) if m != mask => self.poisoned = true,
+            _ => {
+                self.bcast_lines.insert(line, mask);
+            }
+        }
+    }
+
+    /// Notes a vector store at `addr`. A store overlapping a line already
+    /// recorded as broadcast-touched would make the audit masks
+    /// time-varying, which replay cannot serve — the trace is poisoned.
+    /// (GEMM/conv/LSTM kernels keep outputs disjoint from broadcast inputs,
+    /// so this is a defensive guard, not an expected path.)
+    pub fn note_store(&mut self, addr: u64) {
+        let first = save_mem::line_of(addr);
+        let last = save_mem::line_of(addr + (save_isa::LANES as u64 * 4) - 1);
+        if self.bcast_lines.contains_key(&first) || self.bcast_lines.contains_key(&last) {
+            self.poisoned = true;
+        }
+    }
+
+    /// Finalizes into a [`FuncTrace`]. The trace is marked unreplayable if
+    /// any allocated operation never produced its record (a run that
+    /// stalled or was cancelled mid-flight) or recording was poisoned.
+    pub fn finalize(self) -> FuncTrace {
+        let complete =
+            self.fma.iter().all(Option::is_some) && self.load.iter().all(Option::is_some);
+        FuncTrace {
+            fma: self.fma.into_iter().flatten().collect(),
+            load: self.load.into_iter().flatten().collect(),
+            bcast_lines: self.bcast_lines,
+            replayable: complete && !self.poisoned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_order_records_index_by_sequence() {
+        let mut r = Recorder::new();
+        r.record_fma(2, 0b101, 0);
+        r.record_fma(0, 0b111, 0);
+        r.record_fma(1, 0, 0b1010);
+        r.record_load(1, Some((true, 0xFFFF)));
+        r.record_load(0, None);
+        let t = r.finalize();
+        assert!(t.replayable);
+        assert_eq!(t.fma[0].elm, 0b111);
+        assert_eq!(t.fma[1].ml, 0b1010);
+        assert_eq!(t.fma[2].elm, 0b101);
+        assert_eq!(t.load[0].bcast, None);
+        assert_eq!(t.load[1].bcast, Some((true, 0xFFFF)));
+    }
+
+    #[test]
+    fn missing_record_marks_unreplayable() {
+        let mut r = Recorder::new();
+        r.record_fma(1, 0b1, 0); // seq 0 never recorded
+        assert!(!r.finalize().replayable);
+    }
+
+    #[test]
+    fn store_into_broadcast_line_poisons() {
+        let mut r = Recorder::new();
+        r.record_bcast_line(save_mem::line_of(128), 0xF0F0);
+        r.note_store(128);
+        assert!(!r.finalize().replayable);
+
+        let mut r = Recorder::new();
+        r.record_bcast_line(save_mem::line_of(128), 0xF0F0);
+        r.note_store(4096); // disjoint line: fine
+        assert!(r.finalize().replayable);
+    }
+
+    #[test]
+    fn conflicting_line_masks_poison() {
+        let mut r = Recorder::new();
+        r.record_bcast_line(2, 0x00FF);
+        r.record_bcast_line(2, 0x00FF); // same mask: fine
+        r.record_bcast_line(2, 0xFF00); // changed: poison
+        assert!(!r.finalize().replayable);
+    }
+}

@@ -60,6 +60,10 @@ pub struct FmaEntry {
     pub fwd_base: [f32; LANES],
     /// Cycle from which the forwarded partial is usable; [`NO_FWD`] if none.
     pub fwd_ready: [u64; LANES],
+    /// FMA allocation sequence number — the functional-trace index (see
+    /// [`crate::replay`]): the k-th allocated VFMA is the same static
+    /// operation under every timing configuration.
+    pub seq: u64,
 }
 
 impl FmaEntry {
@@ -109,6 +113,8 @@ pub struct LoadEntry {
     pub value_addr: u64,
     /// Vector or broadcast.
     pub kind: LoadKind,
+    /// Load allocation sequence number — the functional-trace index.
+    pub seq: u64,
 }
 
 /// A store waiting in the RS (waits for its data register).
@@ -158,9 +164,18 @@ pub struct Rs {
     /// Program-order view: `(rob, slot)` pairs, oldest first. Sorted by
     /// `rob` as long as `sorted` holds (ROB ids are monotonic).
     order: Vec<(RobId, u32)>,
+    /// Memory-op subset of `order` (loads and stores only, program order):
+    /// the LSU's per-cycle scan walks this instead of the whole station, so
+    /// a VFMA-saturated RS costs the LSU nothing. Invalidated — with a
+    /// full-scan fallback — once [`Rs::swap_order`] permutes program order.
+    mem_order: Vec<(RobId, u32)>,
     /// Whether `order` is still sorted by ROB id (cleared by
     /// [`Rs::swap_order`] and by out-of-order pushes in unit tests).
     sorted: bool,
+    /// Whether [`Rs::swap_order`] has permuted program order — `mem_order`
+    /// no longer mirrors `order`'s relative order, and position-independent
+    /// fast paths must fall back to full scans.
+    permuted: bool,
     capacity: usize,
 }
 
@@ -172,9 +187,43 @@ impl Rs {
             // Pop from the back: slot 0 is handed out first.
             free: (0..capacity as u32).rev().collect(),
             order: Vec::with_capacity(capacity),
+            mem_order: Vec::new(),
             sorted: true,
+            permuted: false,
             capacity,
         }
+    }
+
+    /// `true` while program order is intact (no reorder fault applied).
+    /// Fast paths that iterate derived index lists instead of `order` must
+    /// check this and fall back to a full scan when it is `false`.
+    pub fn order_intact(&self) -> bool {
+        !self.permuted
+    }
+
+    /// Loads and stores currently waiting (length of the mem-op index).
+    pub fn mem_len(&self) -> usize {
+        self.mem_order.len()
+    }
+
+    /// Iterates the waiting loads and stores oldest-first without touching
+    /// the VFMA entries. Only valid while [`Rs::order_intact`]; callers
+    /// must use [`Rs::iter`] after a reorder fault.
+    pub fn mem_iter(&self) -> impl Iterator<Item = &RsEntry> {
+        debug_assert!(!self.permuted, "mem_iter after a reorder fault");
+        self.mem_order.iter().map(|&(_, s)| {
+            self.slots[s as usize].as_ref().expect("mem_order refers to a filled slot")
+        })
+    }
+
+    /// The `pos`-th oldest waiting load/store (see [`Rs::mem_iter`]).
+    ///
+    /// # Panics
+    /// Panics when `pos >= self.mem_len()`.
+    pub fn mem_at(&self, pos: usize) -> &RsEntry {
+        debug_assert!(!self.permuted, "mem_at after a reorder fault");
+        let (_, s) = self.mem_order[pos];
+        self.slots[s as usize].as_ref().expect("mem_order refers to a filled slot")
     }
 
     /// Occupied entries.
@@ -199,6 +248,7 @@ impl Rs {
     pub fn push(&mut self, e: RsEntry) {
         assert!(!self.is_full(), "RS overflow");
         let rob = e.rob();
+        let is_mem = matches!(e, RsEntry::Load(_) | RsEntry::Store(_));
         let slot = self.free.pop().expect("free slot exists below capacity");
         self.slots[slot as usize] = Some(e);
         if let Some(&(last, _)) = self.order.last() {
@@ -207,6 +257,9 @@ impl Rs {
             }
         }
         self.order.push((rob, slot));
+        if is_mem {
+            self.mem_order.push((rob, slot));
+        }
     }
 
     /// Iterates entries oldest-first.
@@ -266,6 +319,7 @@ impl Rs {
     pub fn swap_order(&mut self, a: usize, b: usize) {
         self.order.swap(a, b);
         self.sorted = false;
+        self.permuted = true;
     }
 
     /// Removes entries matching the predicate (issued / fully scheduled).
@@ -273,16 +327,27 @@ impl Rs {
     pub fn retain(&mut self, mut keep: impl FnMut(&RsEntry) -> bool) {
         let slots = &mut self.slots;
         let free = &mut self.free;
+        let mut mem_removed = false;
         self.order.retain(|&(_, s)| {
             let e = slots[s as usize].as_ref().expect("order refers to a filled slot");
             if keep(e) {
                 true
             } else {
+                mem_removed |= matches!(e, RsEntry::Load(_) | RsEntry::Store(_));
                 slots[s as usize] = None;
                 free.push(s);
                 false
             }
         });
+        // Freed slots are `None` until the next push, so pruning the mem-op
+        // index here (before any reuse) cannot mistake a recycled slot for
+        // the removed entry.
+        if mem_removed {
+            let slots = &self.slots;
+            self.mem_order.retain(|&(_, s)| {
+                matches!(slots[s as usize], Some(RsEntry::Load(_) | RsEntry::Store(_)))
+            });
+        }
     }
 }
 
@@ -310,6 +375,7 @@ mod tests {
             chain_succ: None,
             fwd_base: [0.0; LANES],
             fwd_ready: [NO_FWD; LANES],
+            seq: rob as u64,
         }
     }
 
@@ -382,6 +448,44 @@ mod tests {
             assert_eq!(rs.find_fma_mut(r).map(|f| f.rob), Some(r));
         }
         assert_eq!(rs.pos_of(0), Some(3));
+    }
+
+    #[test]
+    fn mem_index_tracks_loads_and_stores_through_churn() {
+        let mut rs = Rs::new(6);
+        rs.push(RsEntry::Fma(fma(0, 0)));
+        rs.push(RsEntry::Load(LoadEntry {
+            rob: 1,
+            dst: 0,
+            addr: 0,
+            value_addr: 0,
+            kind: crate::uop::LoadKind::Vector,
+            seq: 0,
+        }));
+        rs.push(RsEntry::Fma(fma(2, 0)));
+        rs.push(RsEntry::Store(crate::rs::StoreEntry { rob: 3, src: 0, addr: 64 }));
+        assert_eq!(rs.mem_len(), 2);
+        let mem_robs: Vec<_> = rs.mem_iter().map(|e| e.rob()).collect();
+        assert_eq!(mem_robs, vec![1, 3], "mem index preserves program order");
+        // Removing a VFMA leaves the mem index untouched; removing the load
+        // prunes it even though the freed slot is immediately reused.
+        rs.retain(|e| e.rob() != 0);
+        assert_eq!(rs.mem_len(), 2);
+        rs.retain(|e| e.rob() != 1);
+        assert_eq!(rs.mem_len(), 1);
+        rs.push(RsEntry::Load(LoadEntry {
+            rob: 4,
+            dst: 1,
+            addr: 128,
+            value_addr: 128,
+            kind: crate::uop::LoadKind::Broadcast,
+            seq: 1,
+        }));
+        let mem_robs: Vec<_> = rs.mem_iter().map(|e| e.rob()).collect();
+        assert_eq!(mem_robs, vec![3, 4]);
+        assert!(rs.order_intact());
+        rs.swap_order(0, 1);
+        assert!(!rs.order_intact(), "reorder fault invalidates the fast path");
     }
 
     #[test]

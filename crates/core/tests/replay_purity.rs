@@ -1,0 +1,139 @@
+//! Record/replay purity at the core level.
+//!
+//! A *recording* run must be bit-identical to a plain run (record-and-use:
+//! the recording pass doubles as one of the timed cells), and *replaying*
+//! the captured functional trace through an empty memory must reproduce the
+//! cycle count and every `CoreStats` counter bit-for-bit — for every
+//! scheduler kind, both precisions, both broadcast patterns, and under the
+//! Full sanitizer.
+
+use save_core::{Core, CoreConfig, CoreStats, FuncTrace, SanitizeLevel, SchedulerKind};
+use save_isa::Memory;
+use save_kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision};
+use save_mem::{CoreMemory, MemConfig, Uncore, WarmLevel};
+use std::sync::Arc;
+
+fn workload(p: Precision, pat: BroadcastPattern, a: f64, b: f64) -> GemmWorkload {
+    GemmWorkload::dense(
+        "replay",
+        GemmKernelSpec { m_tiles: 3, n_vecs: 2, pattern: pat, precision: p },
+        16,
+        1,
+    )
+    .with_sparsity(a, b)
+}
+
+/// Runs `w` under `cfg` in plain, record, or replay mode and returns
+/// `(cycles, stats)`. `trace` is consumed for replay and produced by record.
+fn run(
+    w: &GemmWorkload,
+    cfg: &CoreConfig,
+    seed: u64,
+    mode: Mode,
+    trace: &mut Option<Arc<FuncTrace>>,
+) -> (u64, CoreStats) {
+    let mut built = w.build(seed);
+    let size = built.mem.size() as u64;
+    let mcfg = MemConfig::default();
+    let mut uncore = Uncore::new(&mcfg, 1);
+    let mut cmem = CoreMemory::new(0, mcfg, 1.7);
+    cmem.warm(&mut uncore, 0, size, WarmLevel::L3);
+    let mut core = Core::new(*cfg);
+    match mode {
+        Mode::Plain => {
+            let out = core.run(&built.program, &mut built.mem, &mut cmem, &mut uncore);
+            assert!(out.completed);
+            built.verify().unwrap();
+            (out.stats.cycles, out.stats)
+        }
+        Mode::Record => {
+            core.set_record();
+            let out = core.run_mut(&built.program, &mut built.mem, &mut cmem, &mut uncore);
+            assert!(out.completed);
+            built.verify().unwrap();
+            let t = core.take_trace().expect("recorder attached");
+            assert!(t.replayable, "trace must be replayable");
+            *trace = Some(Arc::new(t));
+            (out.stats.cycles, out.stats)
+        }
+        Mode::Replay => {
+            core.set_replay(Arc::clone(trace.as_ref().expect("trace recorded first")));
+            // Replay never touches functional memory: an empty arena stands
+            // in, while the *timing* hierarchy is warmed identically.
+            let mut empty = Memory::new(0);
+            let out = core.run(&built.program, &mut empty, &mut cmem, &mut uncore);
+            assert!(out.completed);
+            (out.stats.cycles, out.stats)
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Plain,
+    Record,
+    Replay,
+}
+
+fn configs() -> Vec<(&'static str, CoreConfig)> {
+    vec![
+        ("baseline", CoreConfig::baseline()),
+        ("save-1vpu", CoreConfig::save_1vpu()),
+        ("save-2vpu", CoreConfig::save_2vpu()),
+        (
+            "horizontal",
+            CoreConfig { scheduler: SchedulerKind::Horizontal, ..CoreConfig::save_2vpu() },
+        ),
+    ]
+}
+
+#[test]
+fn record_is_bit_identical_to_plain_and_replay_matches() {
+    for (p, pat) in [
+        (Precision::F32, BroadcastPattern::Explicit),
+        (Precision::F32, BroadcastPattern::Embedded),
+        (Precision::Mixed, BroadcastPattern::Explicit),
+        (Precision::Mixed, BroadcastPattern::Embedded),
+    ] {
+        let w = workload(p, pat, 0.6, 0.5);
+        for (name, cfg) in configs() {
+            let mut trace = None;
+            let plain = run(&w, &cfg, 7, Mode::Plain, &mut trace);
+            let rec = run(&w, &cfg, 7, Mode::Record, &mut trace);
+            assert_eq!(plain, rec, "{name}/{p:?}/{pat:?}: recording perturbed the run");
+            let rep = run(&w, &cfg, 7, Mode::Replay, &mut trace);
+            assert_eq!(plain, rep, "{name}/{p:?}/{pat:?}: replay diverged from direct");
+        }
+    }
+}
+
+#[test]
+fn replay_is_pure_under_full_sanitizer() {
+    for p in [Precision::F32, Precision::Mixed] {
+        let w = workload(p, BroadcastPattern::Explicit, 0.5, 0.6);
+        let cfg =
+            CoreConfig { sanitize: SanitizeLevel::Full, ..CoreConfig::save_2vpu() };
+        let mut trace = None;
+        let plain = run(&w, &cfg, 13, Mode::Plain, &mut trace);
+        let rec = run(&w, &cfg, 13, Mode::Record, &mut trace);
+        let rep = run(&w, &cfg, 13, Mode::Replay, &mut trace);
+        assert_eq!(plain, rec, "{p:?}: sanitized recording diverged");
+        assert_eq!(plain, rep, "{p:?}: sanitized replay diverged");
+    }
+}
+
+/// One trace times many configs: record once under the cheapest config and
+/// replay under every other; each replay must match that config's direct run.
+#[test]
+fn one_trace_serves_every_timing_config() {
+    let w = workload(Precision::F32, BroadcastPattern::Explicit, 0.7, 0.4);
+    let mut trace = None;
+    // Record under baseline — functional facts are config-independent.
+    let _ = run(&w, &CoreConfig::baseline(), 21, Mode::Record, &mut trace);
+    for (name, cfg) in configs() {
+        let mut unused = None;
+        let plain = run(&w, &cfg, 21, Mode::Plain, &mut unused);
+        let rep = run(&w, &cfg, 21, Mode::Replay, &mut trace);
+        assert_eq!(plain, rep, "{name}: cross-config replay diverged from direct");
+    }
+}

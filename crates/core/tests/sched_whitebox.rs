@@ -49,6 +49,7 @@ fn add_fma(s: &mut Setup, rob: usize, acc_log: u8, rot: i8, elm: u16) -> u32 {
         chain_succ: None,
         fwd_base: [0.0; LANES],
         fwd_ready: [NO_FWD; LANES],
+        seq: rob as u64,
     }));
     acc_dst
 }
@@ -65,7 +66,7 @@ fn select_vertical(
     let mut sx = sched::SelectScratch::new();
     sched::window_masks(rs, prf, cfg.lane_wise, &mut sx);
     let mut out = Vec::new();
-    sched::vertical::select(rs, prf, cfg, cycle, stats, &mut sx, &mut out);
+    sched::vertical::select(rs, prf, cfg, cycle, stats, &mut sx, &mut out, false);
     out
 }
 
@@ -79,7 +80,7 @@ fn select_horizontal(
     let mut sx = sched::SelectScratch::new();
     sched::window_masks(rs, prf, cfg.lane_wise, &mut sx);
     let mut out = Vec::new();
-    sched::horizontal::select(rs, prf, cfg, cycle, stats, &mut sx, &mut out);
+    sched::horizontal::select(rs, prf, cfg, cycle, stats, &mut sx, &mut out, false);
     out
 }
 
@@ -173,6 +174,7 @@ fn fig8_lane_wise_dependence_unblocks_false_dependences() {
         chain_succ: None,
         fwd_base: [0.0; LANES],
         fwd_ready: [NO_FWD; LANES],
+        seq: 2,
     }));
     let mut stats = CoreStats::default();
 

@@ -76,6 +76,51 @@ fn trace_events_match_statistics() {
     assert_eq!(lanes.load(Ordering::Relaxed), s.lanes_issued, "traced lanes = issued lanes");
 }
 
+/// Regression: attaching a tracer must disable event-driven fast-forward —
+/// the jump replays statistics deltas but cannot replay trace events, so a
+/// traced run that skipped cycles would emit a truncated stream. A traced
+/// run must produce the identical event stream (and identical cycle count)
+/// whether the `fast_forward` config flag is on or off.
+#[test]
+fn traced_run_emits_same_events_with_fast_forward_on_and_off() {
+    let w = workload(0.6, 0.5);
+    let mut totals = Vec::new();
+    for ff in [true, false] {
+        let mut built = w.build(11);
+        let mcfg = MemConfig::default();
+        let mut uncore = Uncore::new(&mcfg, 1);
+        let mut cmem = CoreMemory::new(0, mcfg, 1.7);
+        cmem.warm(&mut uncore, 0, built.mem.size() as u64, WarmLevel::L3);
+        let allocs = Arc::new(AtomicU64::new(0));
+        let commits = Arc::new(AtomicU64::new(0));
+        let vpu = Arc::new(AtomicU64::new(0));
+        let skips = Arc::new(AtomicU64::new(0));
+        let lanes = Arc::new(AtomicU64::new(0));
+        let mut core = Core::new(CoreConfig { fast_forward: ff, ..CoreConfig::save_2vpu() });
+        core.set_tracer(Box::new(SharedCounter {
+            allocs: Arc::clone(&allocs),
+            commits: Arc::clone(&commits),
+            vpu: Arc::clone(&vpu),
+            skips: Arc::clone(&skips),
+            lanes: Arc::clone(&lanes),
+        }));
+        let out = core.run(&built.program, &mut built.mem, &mut cmem, &mut uncore);
+        assert!(out.completed);
+        totals.push((
+            allocs.load(Ordering::Relaxed),
+            commits.load(Ordering::Relaxed),
+            vpu.load(Ordering::Relaxed),
+            skips.load(Ordering::Relaxed),
+            lanes.load(Ordering::Relaxed),
+            out.stats.cycles,
+        ));
+    }
+    assert_eq!(
+        totals[0], totals[1],
+        "traced event counts and cycles must not depend on the fast-forward flag"
+    );
+}
+
 #[test]
 fn text_trace_is_nonempty_and_ordered() {
     let w = workload(0.0, 0.3);

@@ -1,0 +1,89 @@
+//! Measures the "execute once, time N" speedup (DESIGN.md §5h): one
+//! fig16-class kernel cell swept across N timing configurations, first by
+//! re-executing every cell from scratch, then through a [`TraceStore`]
+//! (record once, replay N−1 times). Prints per-mode host times, the
+//! sweep-level speedup, and asserts the replayed cycle totals are
+//! bit-identical to direct execution.
+//!
+//! Run with `cargo run --release -p save-sim --example trace_speedup`.
+
+use save_core::CoreConfig;
+use save_kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision};
+use save_sim::{CellSpec, ConfigKind, CoreSel, MachineConfig, TraceStore};
+use std::time::Instant;
+
+fn main() {
+    // A fig16-class layer: moderate GEMM, streamed B panel (memory-bound —
+    // representative of the conv-as-GEMM layers the figure sweeps).
+    let w = GemmWorkload {
+        b_panel_tiles: 1,
+        ..GemmWorkload::dense(
+            "fig16-class",
+            GemmKernelSpec {
+                m_tiles: 8,
+                n_vecs: 3,
+                pattern: BroadcastPattern::Explicit,
+                precision: Precision::F32,
+            },
+            64,
+            8,
+        )
+    }
+    .with_sparsity(0.6, 0.6);
+    let machine = MachineConfig::default();
+    let seed = 42;
+
+    // N timing configurations sharing one functional trace: the three named
+    // operating points plus the ablation points of Figs 17-19.
+    let mut configs: Vec<CoreSel> =
+        ConfigKind::ALL.iter().map(|&kind| CoreSel::Kind { kind }).collect();
+    let save = ConfigKind::Save2Vpu.core_config();
+    for cfg in [
+        CoreConfig { rotate: false, ..save },
+        CoreConfig { lane_wise: false, ..save },
+        CoreConfig { rotate: false, lane_wise: false, ..save },
+        CoreConfig { num_vpus: 1, ..save },
+        CoreConfig { scheduler: save_core::SchedulerKind::Horizontal, ..save },
+    ] {
+        configs.push(CoreSel::Custom { config: Box::new(cfg) });
+    }
+
+    let spec_of = |core: &CoreSel| CellSpec {
+        workload: w.clone(),
+        core: core.clone(),
+        machine,
+        seed,
+        verify: false,
+    };
+
+    // Warm-up pass so neither mode pays first-touch costs.
+    let _ = spec_of(&configs[0]).run(None).unwrap();
+
+    let t0 = Instant::now();
+    let direct: Vec<_> = configs.iter().map(|c| spec_of(c).run(None).unwrap()).collect();
+    let direct_host = t0.elapsed();
+
+    let store = TraceStore::new();
+    let t1 = Instant::now();
+    let traced: Vec<_> =
+        configs.iter().map(|c| spec_of(c).run_traced(None, &store).unwrap()).collect();
+    let traced_host = t1.elapsed();
+
+    let mut total_direct = 0u64;
+    let mut total_traced = 0u64;
+    for (i, (d, t)) in direct.iter().zip(&traced).enumerate() {
+        assert_eq!(d.cycles, t.cycles, "config {i}: replay diverged");
+        assert_eq!(d.seconds.to_bits(), t.seconds.to_bits(), "config {i}: bits diverged");
+        total_direct += d.cycles;
+        total_traced += t.cycles;
+    }
+    assert_eq!(total_direct, total_traced);
+
+    let speedup = direct_host.as_secs_f64() / traced_host.as_secs_f64();
+    println!("configs:            {}", configs.len());
+    println!("trace-store hits:   {}/{}", store.hits(), store.lookups());
+    println!("direct sweep:       {:>8.1} ms", direct_host.as_secs_f64() * 1e3);
+    println!("traced sweep:       {:>8.1} ms  (record once, replay {})", traced_host.as_secs_f64() * 1e3, configs.len() - 1);
+    println!("sweep-level speedup: {speedup:.2}x");
+    println!("total simulated cycles (bit-identical): {total_direct}");
+}

@@ -39,6 +39,7 @@ pub mod power;
 pub mod runner;
 pub mod spec;
 pub mod surface;
+pub mod trace;
 
 pub use cancel::{CancelToken, Supervisor, SupervisorHandle, WatchGuard};
 pub use checkpoint::{fsck_journal, CellRecord, Checkpoint, FsckReport, SweepManifest};
@@ -57,5 +58,9 @@ pub use parallel::{
 };
 pub use policy::{PolicyOutcome, VpuPolicy};
 pub use power::{EnergyBreakdown, PowerModel};
-pub use runner::{ConfigKind, KernelResult, MachineConfig, MachineMode};
+pub use runner::{
+    run_kernel_custom_traced, run_kernel_traced, ConfigKind, KernelResult, MachineConfig,
+    MachineMode,
+};
 pub use surface::{DurableSweep, Surface, SweepOutcome};
+pub use trace::{trace_key, CoreTrace, KernelTrace, TraceStore};

@@ -10,8 +10,12 @@
 use crate::cancel::CancelToken;
 use crate::error::SimError;
 use crate::runner::{warm_regions, ConfigKind, KernelResult, MachineConfig};
+use crate::trace::{CoreTrace, KernelTrace, TraceMode};
 use save_core::{Core, CoreConfig};
+use save_isa::Memory;
+use save_kernels::BuiltKernel;
 use save_mem::{CoreMemory, Uncore};
+use std::sync::Arc;
 
 /// Runs `w` on every core of a detailed machine; returns the slowest core's
 /// result (with its stats).
@@ -69,20 +73,80 @@ pub fn run_multicore_custom_cancel(
     verify: bool,
     cancel: Option<&CancelToken>,
 ) -> Result<KernelResult, SimError> {
+    run_multicore_inner(w, core_cfg, machine, seed, verify, cancel, None)
+}
+
+/// The traced counterpart of [`run_multicore_custom_cancel`]: records one
+/// [`save_core::FuncTrace`] per core (each core builds with its own data
+/// seed) or replays a previously recorded per-core set. See
+/// [`crate::runner::run_kernel_traced`] for the record/replay contract.
+pub(crate) fn run_multicore_traced(
+    w: &save_kernels::GemmWorkload,
+    core_cfg: &CoreConfig,
+    machine: &MachineConfig,
+    seed: u64,
+    verify: bool,
+    cancel: Option<&CancelToken>,
+    mode: TraceMode<'_>,
+) -> Result<KernelResult, SimError> {
+    run_multicore_inner(w, core_cfg, machine, seed, verify, cancel, Some(mode))
+}
+
+/// What the lockstep machine executes from: per-core built kernels (direct
+/// and record modes) or a recorded trace plus per-core empty functional
+/// arenas (replay never touches memory values).
+enum Exec {
+    Built(Vec<BuiltKernel>),
+    Replay { trace: Arc<KernelTrace>, mems: Vec<Memory> },
+}
+
+fn run_multicore_inner(
+    w: &save_kernels::GemmWorkload,
+    core_cfg: &CoreConfig,
+    machine: &MachineConfig,
+    seed: u64,
+    verify: bool,
+    cancel: Option<&CancelToken>,
+    mode: Option<TraceMode<'_>>,
+) -> Result<KernelResult, SimError> {
     let cfg = *core_cfg;
     cfg.validate().map_err(|what| SimError::InvalidConfig { what })?;
     machine.mem.validate().map_err(|what| SimError::InvalidConfig { what })?;
     let n = machine.cores.max(1);
     let mut uncore = Uncore::new(&machine.mem, n);
-    let mut built: Vec<_> = (0..n).map(|c| w.build(seed.wrapping_add(c as u64))).collect();
-    let mut cmems: Vec<_> = (0..n)
-        .map(|c| {
-            let mut cm = CoreMemory::new(c, machine.mem, cfg.freq_ghz);
-            warm_regions(w, &built[c], &mut cm, &mut uncore);
-            cm
-        })
-        .collect();
     let mut cores: Vec<_> = (0..n).map(|_| Core::new(cfg)).collect();
+    let mut cmems: Vec<CoreMemory> = Vec::with_capacity(n);
+    let mut exec = match &mode {
+        Some(TraceMode::Replay { trace }) => {
+            if trace.cores.len() != n {
+                return Err(SimError::Protocol {
+                    what: format!(
+                        "kernel trace has {} cores, machine has {n}",
+                        trace.cores.len()
+                    ),
+                });
+            }
+            for (c, (core, tc)) in cores.iter_mut().zip(&trace.cores).enumerate() {
+                let mut cm = CoreMemory::new(c, machine.mem, cfg.freq_ghz);
+                warm_regions(w, &tc.regions, &mut cm, &mut uncore);
+                cmems.push(cm);
+                core.set_replay(Arc::clone(&tc.func));
+            }
+            Exec::Replay { trace: Arc::clone(trace), mems: (0..n).map(|_| Memory::new(0)).collect() }
+        }
+        other => {
+            let built: Vec<_> = (0..n).map(|c| w.build(seed.wrapping_add(c as u64))).collect();
+            for c in 0..n {
+                let mut cm = CoreMemory::new(c, machine.mem, cfg.freq_ghz);
+                warm_regions(w, &built[c].regions, &mut cm, &mut uncore);
+                cmems.push(cm);
+                if matches!(other, Some(TraceMode::Record { .. })) {
+                    cores[c].set_record();
+                }
+            }
+            Exec::Built(built)
+        }
+    };
     if let Some(tok) = cancel {
         for core in &mut cores {
             core.set_cancel(tok.as_flag());
@@ -107,8 +171,18 @@ pub fn run_multicore_custom_cancel(
                 let next = cores[c].cycle() + 1;
                 cores[c].advance_to(next)
             } else {
-                let bk = &mut built[c];
-                cores[c].step(&bk.program, &mut bk.mem, &mut cmems[c], &mut uncore)
+                match &mut exec {
+                    Exec::Built(built) => {
+                        let bk = &mut built[c];
+                        cores[c].step(&bk.program, &mut bk.mem, &mut cmems[c], &mut uncore)
+                    }
+                    Exec::Replay { trace, mems } => cores[c].step(
+                        &trace.cores[c].program,
+                        &mut mems[c],
+                        &mut cmems[c],
+                        &mut uncore,
+                    ),
+                }
             };
             if let Some(out) = res {
                 outcomes[c] = Some(out);
@@ -182,8 +256,7 @@ pub fn run_multicore_custom_cancel(
             });
         }
     }
-    let mut verified = false;
-    if verify {
+    let check_all = |built: &[BuiltKernel]| -> Result<(), SimError> {
         for (c, b) in built.iter().enumerate() {
             if let Err((i, got, want)) = b.verify() {
                 return Err(SimError::VerifyMismatch {
@@ -195,8 +268,40 @@ pub fn run_multicore_custom_cancel(
                 });
             }
         }
-        verified = true;
-    }
+        Ok(())
+    };
+    let verified = match (&mode, exec) {
+        // A recording run always checks every core's output before the
+        // per-core traces are admitted as a set.
+        (Some(TraceMode::Record { store, key }), Exec::Built(built)) => {
+            check_all(&built)?;
+            let funcs: Vec<_> = cores.iter_mut().map(|co| co.take_trace()).collect();
+            if funcs.iter().all(|f| f.as_ref().is_some_and(|t| t.replayable)) {
+                let per_core = built
+                    .into_iter()
+                    .zip(funcs)
+                    .map(|(b, f)| CoreTrace {
+                        program: b.program,
+                        regions: b.regions,
+                        func: Arc::new(f.expect("all checked Some above")),
+                    })
+                    .collect();
+                store.insert(*key, KernelTrace { cores: per_core });
+            }
+            verify
+        }
+        // Replay has no functional output; the trace verified at record.
+        (Some(TraceMode::Replay { .. }), _) => verify,
+        (_, Exec::Built(built)) => {
+            if verify {
+                check_all(&built)?;
+                true
+            } else {
+                false
+            }
+        }
+        (_, Exec::Replay { .. }) => unreachable!("replay implies TraceMode::Replay"),
+    };
     let slowest = outcomes
         .into_iter()
         .flatten()

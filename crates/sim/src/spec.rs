@@ -20,8 +20,10 @@ use crate::cancel::CancelToken;
 use crate::checkpoint::fnv1a;
 use crate::error::SimError;
 use crate::runner::{
-    run_kernel_cancel, run_kernel_custom_cancel, ConfigKind, KernelResult, MachineConfig,
+    run_kernel_cancel, run_kernel_custom_cancel, run_kernel_custom_traced, run_kernel_traced,
+    ConfigKind, KernelResult, MachineConfig,
 };
+use crate::trace::TraceStore;
 use save_core::CoreConfig;
 use save_kernels::GemmWorkload;
 use serde::{Deserialize, Serialize};
@@ -85,12 +87,35 @@ impl CellSpec {
             .map_err(|e| SimError::Protocol { what: format!("serialize cell spec: {e}") })
     }
 
-    /// Content hash over the canonical encoding: the memo-cache key. Two
-    /// specs share a key iff every field that can influence the result is
-    /// identical (field order is fixed by the derive, so the encoding is
-    /// canonical by construction).
+    /// Content address of the cell's *functional* work: everything shared
+    /// by all timing configurations of this cell — the workload, the
+    /// machine shape (mode + core count) and the data seed. Cells with
+    /// equal trace keys share one recorded trace (see [`crate::trace`]).
+    pub fn trace_key(&self) -> Result<u64, SimError> {
+        crate::trace::trace_key(&self.workload, &self.machine, self.seed)
+    }
+
+    /// Content address of the cell's *timing* configuration: the core
+    /// operating point, the memory-system configuration, and the verify
+    /// flag — everything [`CellSpec::trace_key`] deliberately excludes.
+    pub fn timing_key(&self) -> Result<u64, SimError> {
+        let cj = serde_json::to_string(&self.core)
+            .map_err(|e| SimError::Protocol { what: format!("serialize core sel: {e}") })?;
+        let mj = serde_json::to_string(&self.machine.mem)
+            .map_err(|e| SimError::Protocol { what: format!("serialize mem config: {e}") })?;
+        Ok(fnv1a(format!("time|{cj}|{mj}|{}", self.verify).as_bytes()))
+    }
+
+    /// Content hash keying the memo cache: `hash(trace_key ‖ timing_key)`.
+    /// Two specs share a key iff every field that can influence the result
+    /// is identical — the same contract as the original canonical-JSON
+    /// hash, but split along the functional/timing line so that cells
+    /// sharing a trace visibly share the functional half of their key.
     pub fn cache_key(&self) -> Result<u64, SimError> {
-        Ok(fnv1a(self.canonical_json()?.as_bytes()))
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&self.trace_key()?.to_le_bytes());
+        bytes[8..].copy_from_slice(&self.timing_key()?.to_le_bytes());
+        Ok(fnv1a(&bytes))
     }
 
     /// Executes the cell, honouring an optional cooperative cancel token.
@@ -113,6 +138,47 @@ impl CellSpec {
                 cancel,
             ),
         }
+    }
+
+    /// Executes the cell through a [`TraceStore`]: the first cell for a
+    /// given [`CellSpec::trace_key`] records a functional trace, later
+    /// cells replay it with bit-identical results (see
+    /// [`crate::runner::run_kernel_traced`]). Cells whose *full*
+    /// [`CellSpec::cache_key`] already ran through this store are served
+    /// from its result memo without entering the core at all — the
+    /// simulator is deterministic, so the memoized bits are the bits a
+    /// re-execution would produce.
+    pub fn run_traced(
+        &self,
+        cancel: Option<&CancelToken>,
+        store: &TraceStore,
+    ) -> Result<KernelResult, SimError> {
+        let cache_key = self.cache_key()?;
+        if let Some(memo) = store.result(cache_key) {
+            return Ok(memo);
+        }
+        let result = match &self.core {
+            CoreSel::Kind { kind } => run_kernel_traced(
+                &self.workload,
+                *kind,
+                &self.machine,
+                self.seed,
+                self.verify,
+                cancel,
+                store,
+            ),
+            CoreSel::Custom { config } => run_kernel_custom_traced(
+                &self.workload,
+                config,
+                &self.machine,
+                self.seed,
+                self.verify,
+                cancel,
+                store,
+            ),
+        }?;
+        store.record_result(cache_key, result);
+        Ok(result)
     }
 }
 
