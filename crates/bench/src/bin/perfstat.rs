@@ -12,6 +12,9 @@
 //! * `--update`   append this measurement to `BENCH_PERF.json`;
 //! * `--check`    compare against the last committed record of the same
 //!   sweep size and exit non-zero on a >25% throughput regression;
+//! * `--scaling`  also measure the detailed-multicore scaling curve
+//!   (cores × relaxed-sync quantum, DESIGN.md §5i) and gate the 28-core
+//!   relaxed-vs-lockstep wall-clock speedup against a floor;
 //! * `--label L`  free-form label stored with the record.
 //!
 //! Each record also stores the `git` revision it was measured at
@@ -21,8 +24,10 @@
 
 use save_bench::print_table;
 use save_kernels::{BroadcastPattern, GemmKernelSpec, GemmWorkload, Precision};
-use save_sim::runner::{run_kernel, run_kernel_cancel, ConfigKind, MachineConfig, MachineMode};
-use save_sim::{CancelToken, CellSpec, SimError, TraceStore};
+use save_sim::runner::{
+    run_kernel, run_kernel_cancel, ConfigKind, MachineConfig, MachineMode, MulticoreConfig,
+};
+use save_sim::{host_parallelism, CancelToken, CellSpec, SimError, TraceStore};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -63,8 +68,40 @@ struct ReplaySweep {
     floor: f64,
 }
 
+/// One cell of the multicore scaling curve: the reference streaming kernel
+/// on a detailed `cores`-core mesh at one relaxed-sync quantum
+/// (`quantum == 1` is the lockstep engine).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ScalingPoint {
+    cores: usize,
+    quantum: u64,
+    /// Slowest-core simulated cycles (the run's timing verdict).
+    cycles: u64,
+    /// Best-of-reps wall-clock for the whole machine.
+    host_seconds: f64,
+    /// Wall-clock speedup over the same machine under lockstep.
+    speedup_vs_lockstep: f64,
+}
+
+/// The multicore scaling record (ISSUE 10): cores × quantum wall-clock
+/// curve for the reference streaming workload, plus the gated 28-core
+/// (or largest measured mesh's) relaxed-vs-lockstep speedup.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct MulticoreScaling {
+    points: Vec<ScalingPoint>,
+    /// Relaxed-engine speedup over lockstep at the largest measured mesh
+    /// (best quantum): the number the floor gates.
+    speedup_28: f64,
+    /// The gate the measurement was checked against.
+    floor: f64,
+    /// `std::thread::available_parallelism` on the measuring host — the
+    /// curve is only comparable between hosts of similar width.
+    host_threads: usize,
+}
+
 /// One appended trajectory record. `git_rev` defaults to empty so records
-/// written before the field existed keep parsing; `replay_sweep` likewise.
+/// written before the field existed keep parsing; `replay_sweep` and
+/// `multicore_scaling` likewise.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct PerfRecord {
     schema: u32,
@@ -79,6 +116,8 @@ struct PerfRecord {
     total_kcycles_per_host_sec: f64,
     #[serde(default)]
     replay_sweep: Option<ReplaySweep>,
+    #[serde(default)]
+    multicore_scaling: Option<MulticoreScaling>,
 }
 
 /// The short git revision of the working tree: the `SAVE_GIT_REV`
@@ -298,6 +337,104 @@ fn replay_sweep(quick: bool, tok: &CancelToken) -> Result<ReplaySweep, SimError>
     })
 }
 
+/// Speedup the largest mesh must reach under the relaxed engine, as a
+/// function of host width. Lockstep and relaxed pay the *same* cost for
+/// active core cycles and both skip inert stretches (lockstep per-core,
+/// relaxed per-quantum), so on a serial host only the fast-forward
+/// component remains (measured ~1.1-1.3x). The headline win is host
+/// parallelism — 28 lanes spread over the worker threads — which an
+/// `n`-thread host can only express up to `n`-fold. The gate therefore
+/// scales with the host (0.6 per thread ≈ parallel efficiency after
+/// barrier + reconcile costs) and reaches the full 2x (quick) / 4x (full)
+/// targets on hosts with 8+ threads; a serial host just requires relaxed
+/// to be no slower than lockstep.
+fn scaling_floor(quick: bool, host_threads: usize) -> f64 {
+    let target: f64 = if quick { 2.0 } else { 4.0 };
+    target.min(0.6 * host_threads as f64).max(1.0)
+}
+
+/// The scaling reference workload: B streams from DRAM, so cores spend
+/// most cycles waiting on memory at *per-core-divergent* times (distinct
+/// data seeds → distinct sparsity patterns → drifting stall schedules).
+/// Lockstep can only fast-forward when every core is simultaneously inert,
+/// which drifting stalls defeat; the relaxed engine fast-forwards each
+/// core independently inside its quantum — precisely the gap the scaling
+/// curve measures.
+fn scaling_workload(quick: bool) -> GemmWorkload {
+    let spec = GemmKernelSpec {
+        m_tiles: 6,
+        n_vecs: 4,
+        pattern: BroadcastPattern::Explicit,
+        precision: Precision::F32,
+    };
+    let tiles = if quick { 8 } else { 16 };
+    GemmWorkload {
+        b_panel_tiles: 1,
+        ..GemmWorkload::dense("scaling-stream", spec, 32, tiles).with_sparsity(0.6, 0.6)
+    }
+}
+
+/// The measured grid. Quick keeps CI fast: the two mesh sizes that bound
+/// the curve and the two quanta that matter (lockstep vs the default
+/// relaxed quantum).
+fn scaling_grid(quick: bool) -> (Vec<usize>, Vec<u64>) {
+    if quick {
+        (vec![4, 28], vec![1, 1000])
+    } else {
+        (vec![1, 4, 14, 28], vec![1, 100, 1000])
+    }
+}
+
+/// Measures the cores × quantum wall-clock curve (best of [`REPS`] per
+/// cell) and gates the largest mesh's relaxed-vs-lockstep speedup.
+fn measure_scaling(quick: bool, tok: &CancelToken) -> Result<MulticoreScaling, SimError> {
+    let w = scaling_workload(quick);
+    let (cores_axis, quanta) = scaling_grid(quick);
+    let mut points = Vec::new();
+    for &cores in &cores_axis {
+        let mut lockstep_host = f64::NAN;
+        for &quantum in &quanta {
+            let machine = MachineConfig {
+                cores,
+                mode: MachineMode::Detailed,
+                mc: MulticoreConfig { quantum, threads: 0 },
+                ..MachineConfig::default()
+            };
+            let mut cycles = 0;
+            let mut best = f64::INFINITY;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let r = run_kernel_cancel(&w, ConfigKind::Save2Vpu, &machine, 7, false, Some(tok))?;
+                best = best.min(t0.elapsed().as_secs_f64());
+                cycles = r.cycles;
+            }
+            if quantum == 1 {
+                lockstep_host = best;
+            }
+            points.push(ScalingPoint {
+                cores,
+                quantum,
+                cycles,
+                host_seconds: best,
+                speedup_vs_lockstep: lockstep_host / best.max(1e-9),
+            });
+        }
+    }
+    let top_cores = cores_axis.iter().copied().max().unwrap_or(0);
+    let speedup_28 = points
+        .iter()
+        .filter(|p| p.cores == top_cores && p.quantum > 1)
+        .map(|p| p.speedup_vs_lockstep)
+        .fold(0.0, f64::max);
+    let host_threads = host_parallelism();
+    Ok(MulticoreScaling {
+        points,
+        speedup_28,
+        floor: scaling_floor(quick, host_threads),
+        host_threads,
+    })
+}
+
 fn load_trajectory(path: &PathBuf) -> Vec<PerfRecord> {
     match std::fs::read_to_string(path) {
         Ok(s) => serde_json::from_str(&s).unwrap_or_else(|e| {
@@ -319,6 +456,7 @@ fn body(
     let quick = cli.quick;
     let update = cli.rest.iter().any(|a| a == "--update");
     let check = cli.rest.iter().any(|a| a == "--check");
+    let scaling = cli.rest.iter().any(|a| a == "--scaling");
     let label = cli
         .rest
         .iter()
@@ -348,6 +486,14 @@ fn body(
     let Some(replay) = session.run("replay sweep", |tok| replay_sweep(quick, tok)) else {
         return Ok(());
     };
+    let mc_scaling = if scaling {
+        match session.run("multicore scaling", |tok| measure_scaling(quick, tok)) {
+            Some(s) => Some(s),
+            None => return Ok(()),
+        }
+    } else {
+        None
+    };
     let total_cycles: u64 = points.iter().map(|p| p.cycles).sum();
     let total_host: f64 = points.iter().map(|p| p.host_seconds).sum();
     let total_kcps = total_cycles as f64 / total_host.max(1e-9) / 1e3;
@@ -365,6 +511,7 @@ fn body(
         total_host_seconds: total_host,
         total_kcycles_per_host_sec: total_kcps,
         replay_sweep: Some(replay.clone()),
+        multicore_scaling: mc_scaling.clone(),
     };
 
     let rows: Vec<Vec<String>> = points
@@ -407,6 +554,39 @@ fn body(
                 replay.speedup, replay.floor
             ),
         });
+    }
+    if let Some(sc) = &mc_scaling {
+        let rows: Vec<Vec<String>> = sc
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.cores.to_string(),
+                    if p.quantum == 1 { "1 (lockstep)".to_string() } else { p.quantum.to_string() },
+                    p.cycles.to_string(),
+                    format!("{:.3}", p.host_seconds),
+                    format!("{:.2}x", p.speedup_vs_lockstep),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("multicore scaling — relaxed sync vs lockstep ({} host threads)", sc.host_threads),
+            &["cores", "quantum", "sim cycles", "host s", "vs lockstep"],
+            &rows,
+        );
+        println!(
+            "largest mesh: relaxed engine {:.2}x over lockstep (floor {:.1}x)",
+            sc.speedup_28, sc.floor
+        );
+        if sc.speedup_28 < sc.floor {
+            return Err(SimError::Io {
+                what: format!(
+                    "28-core relaxed-sync speedup {:.2}x below the {:.1}x floor — \
+                     the quantum engine is not paying for itself",
+                    sc.speedup_28, sc.floor
+                ),
+            });
+        }
     }
 
     let path = trajectory_path();

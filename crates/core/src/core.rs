@@ -23,7 +23,7 @@ use crate::trace::{TraceEvent, Tracer};
 use crate::uop::{crack, FmaPrecision, PhysId, RobId, Uop};
 use crate::vpu::{VpuOp, VpuPipeline};
 use save_isa::{Program, VecF32, LANES, NUM_VREGS};
-use save_mem::{CoreMemory, Uncore};
+use save_mem::{CoreMemory, UncoreAccess};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -307,7 +307,7 @@ impl Core {
         program: &Program,
         mem: &mut save_isa::Memory,
         cmem: &mut CoreMemory,
-        uncore: &mut Uncore,
+        uncore: &mut dyn UncoreAccess,
     ) -> ([VecF32; NUM_VREGS], CoreStats) {
         cmem.set_freq(self.cfg.freq_ghz);
         self.uop_commit_limit = Some(n);
@@ -334,7 +334,7 @@ impl Core {
         program: &Program,
         mem: &mut save_isa::Memory,
         cmem: &mut CoreMemory,
-        uncore: &mut Uncore,
+        uncore: &mut dyn UncoreAccess,
     ) -> RunOutcome {
         self.run_mut(program, mem, cmem, uncore)
     }
@@ -348,7 +348,7 @@ impl Core {
         program: &Program,
         mem: &mut save_isa::Memory,
         cmem: &mut CoreMemory,
-        uncore: &mut Uncore,
+        uncore: &mut dyn UncoreAccess,
     ) -> RunOutcome {
         cmem.set_freq(self.cfg.freq_ghz);
         loop {
@@ -363,6 +363,36 @@ impl Core {
                 }
             }
         }
+    }
+
+    /// Runs the core until its local clock reaches `limit` (or the program
+    /// drains / the run aborts — then the outcome is returned). The
+    /// relaxed-sync multicore engine calls this once per quantum against a
+    /// core-private uncore view; fast-forward jumps are clamped to the
+    /// quantum end so the core never runs past the barrier.
+    pub fn run_until_cycle(
+        &mut self,
+        limit: u64,
+        program: &Program,
+        mem: &mut save_isa::Memory,
+        cmem: &mut CoreMemory,
+        uncore: &mut dyn UncoreAccess,
+    ) -> Option<RunOutcome> {
+        cmem.set_freq(self.cfg.freq_ghz);
+        while self.cycle < limit {
+            if let Some(outcome) = self.step(program, mem, cmem, uncore) {
+                return Some(outcome);
+            }
+            if let Some(target) = self.ff_target() {
+                let clamped = target.min(limit);
+                if clamped > self.cycle {
+                    if let Some(outcome) = self.advance_to(clamped) {
+                        return Some(outcome);
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// `true` once the core has drained the whole program.
@@ -384,7 +414,7 @@ impl Core {
         program: &Program,
         mem: &mut save_isa::Memory,
         cmem: &mut CoreMemory,
-        uncore: &mut Uncore,
+        uncore: &mut dyn UncoreAccess,
     ) -> Option<RunOutcome> {
         if self.finished {
             return Some(RunOutcome {
@@ -1403,7 +1433,7 @@ impl Core {
 mod tests {
     use super::*;
     use save_isa::{Inst, Memory, VOperand, VReg};
-    use save_mem::{MemConfig, WarmLevel};
+    use save_mem::{MemConfig, Uncore, WarmLevel};
 
     fn run_program(cfg: CoreConfig, program: &Program, mem: &mut Memory) -> RunOutcome {
         let mcfg = MemConfig::default();

@@ -14,7 +14,7 @@ use crate::rs::{Rs, RsEntry};
 use crate::stats::CoreStats;
 use crate::uop::{LoadKind, PhysId, RobId};
 use save_isa::{Memory, VecF32, F32_PER_LINE};
-use save_mem::{BcastAccess, CoreMemory, LoadClass, Uncore};
+use save_mem::{BcastAccess, CoreMemory, LoadClass, UncoreAccess};
 
 /// Zero mask of the 16 f32 elements of the cache line starting at
 /// `line_base`, read from functional memory. Elements beyond the allocated
@@ -122,7 +122,7 @@ impl Lsu {
         prf: &PhysRegFile,
         mem: &mut Memory,
         cmem: &mut CoreMemory,
-        uncore: &mut Uncore,
+        uncore: &mut dyn UncoreAccess,
         load_ports: usize,
         store_ports: usize,
         freq_ghz: f64,
@@ -167,7 +167,7 @@ impl Lsu {
         prf: &PhysRegFile,
         mem: &mut Memory,
         cmem: &mut CoreMemory,
-        uncore: &mut Uncore,
+        uncore: &mut dyn UncoreAccess,
         load_ports: usize,
         load_buffer: usize,
         store_ports: usize,
@@ -333,7 +333,7 @@ mod tests {
     use super::*;
     use crate::rob::{Rob, RobKind};
     use crate::rs::LoadEntry;
-    use save_mem::MemConfig;
+    use save_mem::{MemConfig, Uncore};
 
     fn setup() -> (Rs, PhysRegFile, Memory, CoreMemory, Uncore, CoreStats, Rob) {
         let cfg = MemConfig { bcast: None, prefetch_degree: 0, ..MemConfig::default() };

@@ -46,8 +46,9 @@ pub enum TraceEvent {
     },
 }
 
-/// A consumer of trace events.
-pub trait Tracer {
+/// A consumer of trace events. `Send` so a traced core can run on a
+/// relaxed-sync worker thread.
+pub trait Tracer: Send {
     /// Receives one event.
     fn event(&mut self, ev: &TraceEvent);
 }
@@ -69,7 +70,7 @@ impl<W: Write> TextTracer<W> {
     }
 }
 
-impl<W: Write> Tracer for TextTracer<W> {
+impl<W: Write + Send> Tracer for TextTracer<W> {
     fn event(&mut self, ev: &TraceEvent) {
         let _ = match ev {
             TraceEvent::Alloc { cycle, rob, what } => {

@@ -35,6 +35,18 @@ pub struct DramStats {
     pub prefetch_fills: u64,
     /// Total queueing delay observed by demand fills, in ns.
     pub demand_queue_ns: f64,
+    /// Deepest per-channel queue (in whole line-transfers waiting ahead of a
+    /// request at its arrival) observed so far — the many-core contention
+    /// signal that is invisible at small core counts.
+    #[serde(default)]
+    pub max_queue_depth: u64,
+    /// Sum of per-request queue depths at arrival (demand + prefetch), for
+    /// a mean-depth report alongside the max.
+    #[serde(default)]
+    pub queue_depth_sum: u64,
+    /// Requests sampled into `queue_depth_sum`.
+    #[serde(default)]
+    pub queue_samples: u64,
 }
 
 /// The DRAM model.
@@ -84,6 +96,12 @@ impl Dram {
     pub fn access_line(&mut self, line_addr: u64, now_ns: f64, prefetch: bool) -> f64 {
         let ch = (line_addr % self.cfg.channels as u64) as usize;
         let start = self.next_free[ch].max(now_ns);
+        // Queue depth at arrival: whole line-transfers already committed to
+        // this channel that the new request waits behind.
+        let depth = ((self.next_free[ch] - now_ns).max(0.0) / self.line_service_ns) as u64;
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(depth);
+        self.stats.queue_depth_sum += depth;
+        self.stats.queue_samples += 1;
         self.next_free[ch] = start + self.line_service_ns;
         let done = start + self.cfg.latency_ns;
         if prefetch {
@@ -146,6 +164,20 @@ mod tests {
         d.access_line(0, 0.0, false);
         let t2 = d.access_line(6, 0.0, false);
         assert_eq!(t2, 256.0); // 64 ns * 4
+    }
+
+    #[test]
+    fn queue_depth_tracks_backlog() {
+        let mut d = Dram::new(DramConfig { bandwidth_gbps: 6.0, channels: 6, latency_ns: 50.0 });
+        // 64 ns per line per channel; three back-to-back requests to channel
+        // 0 arrive at t=0 with 0, 1 and 2 transfers already queued.
+        for _ in 0..3 {
+            d.access_line(0, 0.0, false);
+        }
+        let s = d.stats();
+        assert_eq!(s.max_queue_depth, 2);
+        assert_eq!(s.queue_depth_sum, 3); // 0 + 1 + 2
+        assert_eq!(s.queue_samples, 3);
     }
 
     #[test]

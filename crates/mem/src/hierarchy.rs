@@ -205,6 +205,88 @@ pub struct CoreMemStats {
     pub prefetches: u64,
 }
 
+/// The interface a core-side memory uses to reach shared uncore state.
+///
+/// The detailed lockstep engine hands cores the real [`Uncore`]; the
+/// quantum-based relaxed-sync engine hands each core a
+/// [`crate::relaxed::QuantumView`] — a core-private view that predicts
+/// latencies from a quantum-start snapshot and logs every request for
+/// deterministic replay at the next barrier (DESIGN.md §5i). Core code is
+/// written against this trait so both engines run the identical cycle
+/// loop.
+pub trait UncoreAccess {
+    /// Accesses `line` from `core` at `start_ns` (the time the request
+    /// leaves the L2). Returns the completion time in ns.
+    fn access(&mut self, core: usize, line: u64, start_ns: f64, prefetch: bool) -> f64;
+    /// Installs a line in its home L3 slice without timing (warm-up).
+    fn warm_line(&mut self, core: usize, line: u64);
+}
+
+/// Maximum concurrent misses a NUCA L3 slice tracks before a new miss
+/// counts as an MSHR conflict (observation-only: conflicts are counted,
+/// not stalled, so the timing model is unchanged).
+pub const SLICE_MSHRS: usize = 16;
+
+/// Aggregated uncore contention report — the NoC/L3/DRAM signals that only
+/// become visible at many-core scale (ROADMAP open item 2).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct UncoreReport {
+    /// L3 hits across all slices.
+    pub l3_hits: u64,
+    /// L3 misses across all slices.
+    pub l3_misses: u64,
+    /// Per-slice MSHR-conflict counts: misses arriving while [`SLICE_MSHRS`]
+    /// misses to the same slice were already outstanding.
+    pub mshr_conflicts: Vec<u64>,
+    /// Flits carried per directed mesh link (see [`Mesh::link_id`]); request
+    /// and response traversals both count.
+    pub link_flits: Vec<u64>,
+    /// The busiest link's flit count.
+    pub max_link_flits: u64,
+    /// Mean flits over links that carried any traffic.
+    pub mean_link_flits: f64,
+    /// DRAM traffic and queue-depth counters.
+    pub dram: crate::dram::DramStats,
+}
+
+impl UncoreReport {
+    /// The hottest links as `(tile, dir, flits)`, most-loaded first, for
+    /// operator-facing reports. `dir`: 0 east, 1 west, 2 south, 3 north.
+    pub fn hottest_links(&self, top: usize) -> Vec<(usize, usize, u64)> {
+        let mut loaded: Vec<(usize, u64)> = self
+            .link_flits
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, f)| f > 0)
+            .collect();
+        loaded.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        loaded.into_iter().take(top).map(|(id, f)| (id / 4, id % 4, f)).collect()
+    }
+
+    /// Total MSHR conflicts across slices.
+    pub fn total_mshr_conflicts(&self) -> u64 {
+        self.mshr_conflicts.iter().sum()
+    }
+}
+
+/// One logged uncore request, replayed into the shared [`Uncore`] at a
+/// relaxed-sync barrier. The `(start_ns, core, seq)` triple gives the
+/// replay a deterministic total order independent of host threading.
+#[derive(Clone, Copy, Debug)]
+pub struct UncoreReq {
+    /// Requesting core.
+    pub core: usize,
+    /// Per-core log sequence number within the quantum.
+    pub seq: u32,
+    /// Line address (un-salted; the uncore salts by core).
+    pub line: u64,
+    /// Time the request left the requester's L2, in ns.
+    pub start_ns: f64,
+    /// Prefetch (accounting only).
+    pub prefetch: bool,
+}
+
 /// Shared uncore: L3 slices, mesh, DRAM.
 #[derive(Clone, Debug)]
 pub struct Uncore {
@@ -216,20 +298,30 @@ pub struct Uncore {
     l3_ns: f64,
     l3_hits: u64,
     l3_misses: u64,
+    /// Flits per directed mesh link (detailed mode only).
+    link_flits: Vec<u64>,
+    /// Per-slice outstanding-miss completion times (pruned on access).
+    slice_inflight: Vec<Vec<f64>>,
+    /// Per-slice conflict counts (miss arrived with >= SLICE_MSHRS pending).
+    mshr_conflicts: Vec<u64>,
 }
 
 impl Uncore {
     /// Builds a detailed uncore with one L3 slice per core.
     pub fn new(cfg: &MemConfig, cores: usize) -> Self {
         let mesh = Mesh::for_tiles(cores.max(1), cfg.noc_hop_cycles, cfg.uncore_ghz);
+        let n = cores.max(1);
         Uncore {
-            slices: (0..cores.max(1)).map(|_| Cache::new(cfg.l3_slice)).collect(),
+            slices: (0..n).map(|_| Cache::new(cfg.l3_slice)).collect(),
             mesh,
             dram: Dram::new(cfg.dram),
             symmetric_noc_ns: None,
             l3_ns: cfg.l3_ns,
             l3_hits: 0,
             l3_misses: 0,
+            link_flits: vec![0; mesh.num_links()],
+            slice_inflight: vec![Vec::new(); n],
+            mshr_conflicts: vec![0; n],
         }
     }
 
@@ -250,6 +342,11 @@ impl Uncore {
             l3_ns: cfg.l3_ns,
             l3_hits: 0,
             l3_misses: 0,
+            // Per-link traffic is meaningless when one core stands for many;
+            // symmetric mode keeps the contention counters empty.
+            link_flits: Vec::new(),
+            slice_inflight: vec![Vec::new()],
+            mshr_conflicts: vec![0],
         }
     }
 
@@ -267,8 +364,18 @@ impl Uncore {
     /// whose addresses start at zero; salting the line address with the core
     /// id makes the shared L3/DRAM see them as the distinct physical buffers
     /// they represent.
-    fn salt(core: usize, line: u64) -> u64 {
+    pub(crate) fn salt(core: usize, line: u64) -> u64 {
         line | ((core as u64) << 42)
+    }
+
+    /// Counts request + response flit traversals on the XY route between
+    /// the requester tile and the home-slice tile (detailed mode only).
+    fn count_route(&mut self, core: usize, slice_idx: usize) {
+        let mesh = self.mesh;
+        let tiles = mesh.tiles();
+        let (from, to) = (core % tiles, slice_idx % tiles);
+        mesh.xy_route_links(from, to, |l| self.link_flits[l] += 1);
+        mesh.xy_route_links(to, from, |l| self.link_flits[l] += 1);
     }
 
     /// Accesses `line` from `core` at `start_ns` (the time the request
@@ -277,6 +384,9 @@ impl Uncore {
         let noc = self.noc_ns(core, line);
         let tagged = Self::salt(core, line);
         let slice_idx = (line % self.slices.len() as u64) as usize;
+        if self.symmetric_noc_ns.is_none() {
+            self.count_route(core, slice_idx);
+        }
         let at_slice = start_ns + noc;
         let hit = self.slices[slice_idx].access(tagged);
         if hit {
@@ -284,7 +394,15 @@ impl Uncore {
             at_slice + self.l3_ns + noc
         } else {
             self.l3_misses += 1;
+            // Observation-only MSHR model: track outstanding misses per slice
+            // and count (but do not stall) arrivals past the MSHR budget.
+            let inflight = &mut self.slice_inflight[slice_idx];
+            inflight.retain(|&t| t > at_slice);
+            if inflight.len() >= SLICE_MSHRS {
+                self.mshr_conflicts[slice_idx] += 1;
+            }
             let done = self.dram.access_line(tagged, at_slice + self.l3_ns, prefetch);
+            self.slice_inflight[slice_idx].push(done);
             self.slices[slice_idx].fill(tagged);
             done + noc
         }
@@ -317,6 +435,71 @@ impl Uncore {
     /// The mesh (for topology queries).
     pub fn mesh(&self) -> &Mesh {
         &self.mesh
+    }
+
+    /// One-way NoC latency from `core` to the home slice of `line`, in ns —
+    /// the public probe [`crate::relaxed::QuantumView`] predicts with.
+    pub fn noc_latency_ns(&self, core: usize, line: u64) -> f64 {
+        self.noc_ns(core, line)
+    }
+
+    /// L3 array latency in ns.
+    pub fn l3_latency_ns(&self) -> f64 {
+        self.l3_ns
+    }
+
+    /// A clone of the DRAM channel state, cheap enough (a handful of f64s
+    /// per channel) to snapshot at every quantum boundary.
+    pub fn dram_snapshot(&self) -> Dram {
+        self.dram.clone()
+    }
+
+    /// Aggregated contention report (see [`UncoreReport`]).
+    pub fn report(&self) -> UncoreReport {
+        let loaded: Vec<u64> =
+            self.link_flits.iter().copied().filter(|&f| f > 0).collect();
+        let mean = if loaded.is_empty() {
+            0.0
+        } else {
+            loaded.iter().sum::<u64>() as f64 / loaded.len() as f64
+        };
+        UncoreReport {
+            l3_hits: self.l3_hits,
+            l3_misses: self.l3_misses,
+            mshr_conflicts: self.mshr_conflicts.clone(),
+            link_flits: self.link_flits.clone(),
+            max_link_flits: self.link_flits.iter().copied().max().unwrap_or(0),
+            mean_link_flits: mean,
+            dram: self.dram.stats(),
+        }
+    }
+
+    /// Replays a quantum's logged requests into the shared uncore in the
+    /// canonical `(start_ns, core, seq)` order. Predicted latencies were
+    /// already consumed inside the quantum; the replay's job is to bring the
+    /// shared L3/DRAM/contention state (and its counters) to exactly the
+    /// state a serialized execution of those requests would produce —
+    /// independent of which host thread ran which core. Drains `reqs`.
+    pub fn reconcile(&mut self, reqs: &mut Vec<UncoreReq>) {
+        reqs.sort_unstable_by(|a, b| {
+            a.start_ns
+                .total_cmp(&b.start_ns)
+                .then(a.core.cmp(&b.core))
+                .then(a.seq.cmp(&b.seq))
+        });
+        for r in reqs.drain(..) {
+            self.access(r.core, r.line, r.start_ns, r.prefetch);
+        }
+    }
+}
+
+impl UncoreAccess for Uncore {
+    fn access(&mut self, core: usize, line: u64, start_ns: f64, prefetch: bool) -> f64 {
+        Uncore::access(self, core, line, start_ns, prefetch)
+    }
+
+    fn warm_line(&mut self, core: usize, line: u64) {
+        Uncore::warm_line(self, core, line)
     }
 }
 
@@ -451,7 +634,7 @@ impl CoreMemory {
         self.l1.fill(line);
     }
 
-    fn run_prefetcher(&mut self, uncore: &mut Uncore, line: u64, now_ns: f64) {
+    fn run_prefetcher(&mut self, uncore: &mut dyn UncoreAccess, line: u64, now_ns: f64) {
         let degree = self.cfg.prefetch_degree;
         if degree == 0 {
             return;
@@ -503,7 +686,7 @@ impl CoreMemory {
     /// Issues a timed demand load of the data at `addr` at time `now_ns`.
     pub fn load(
         &mut self,
-        uncore: &mut Uncore,
+        uncore: &mut dyn UncoreAccess,
         addr: u64,
         now_ns: f64,
         class: LoadClass,
@@ -575,7 +758,7 @@ impl CoreMemory {
 
     /// Issues a store (write-allocate into L1/L2; timing is hidden by the
     /// store buffer so only occupancy is modelled).
-    pub fn store(&mut self, uncore: &mut Uncore, addr: u64, now_ns: f64) {
+    pub fn store(&mut self, uncore: &mut dyn UncoreAccess, addr: u64, now_ns: f64) {
         self.stats.stores += 1;
         let line = crate::line_of(addr);
         if !self.l1.access(line) {
@@ -588,7 +771,7 @@ impl CoreMemory {
 
     /// Installs every line of `[base, base+bytes)` at the given level
     /// without timing (kernel warm-up, §VI).
-    pub fn warm(&mut self, uncore: &mut Uncore, base: u64, bytes: u64, level: WarmLevel) {
+    pub fn warm(&mut self, uncore: &mut dyn UncoreAccess, base: u64, bytes: u64, level: WarmLevel) {
         let first = crate::line_of(base);
         let last = crate::line_of(base + bytes.saturating_sub(1));
         for line in first..=last {

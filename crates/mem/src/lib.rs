@@ -30,13 +30,18 @@ pub mod dram;
 pub mod energy;
 pub mod hierarchy;
 pub mod noc;
+pub mod relaxed;
 pub mod tlb;
 
 pub use bcast_cache::{BcastAccess, BcastDesign, BroadcastCache};
 pub use cache::{Cache, CacheConfig, CacheStats, Replacement};
 pub use dram::{Dram, DramConfig};
-pub use hierarchy::{CoreMemory, LoadClass, LoadResult, MemConfig, Uncore, WarmLevel};
+pub use hierarchy::{
+    CoreMemory, LoadClass, LoadResult, MemConfig, Uncore, UncoreAccess, UncoreReport,
+    UncoreReq, WarmLevel, SLICE_MSHRS,
+};
 pub use noc::Mesh;
+pub use relaxed::QuantumView;
 pub use tlb::Tlb;
 
 /// Cache-line size in bytes (fixed at 64 across the model, matching §IV-A).

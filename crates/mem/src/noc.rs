@@ -55,6 +55,54 @@ impl Mesh {
         let total: u64 = (0..n).map(|t| self.hops(from, t)).sum();
         total as f64 / n as f64 * self.hop_cycles as f64 / self.uncore_ghz
     }
+
+    /// Number of directed-link slots: four outgoing directions per tile
+    /// (east, west, south, north), indexed by [`Mesh::link_id`]. Edge tiles
+    /// simply never use their outward-facing slots.
+    pub fn num_links(&self) -> usize {
+        self.tiles() * 4
+    }
+
+    /// The directed-link slot leaving `tile` in direction `dir`
+    /// (0 = east/+x, 1 = west/-x, 2 = south/+y, 3 = north/-y).
+    pub fn link_id(&self, tile: usize, dir: usize) -> usize {
+        tile * 4 + dir
+    }
+
+    /// Decomposes a link id back into `(tile, dir)` — the inverse of
+    /// [`Mesh::link_id`], for reporting.
+    pub fn link_of(&self, id: usize) -> (usize, usize) {
+        (id / 4, id % 4)
+    }
+
+    /// Visits the directed link ids a flit traverses from `from` to `to`
+    /// under XY routing (all X hops, then all Y hops) — one call per hop.
+    ///
+    /// # Panics
+    /// Panics if either tile index is out of range.
+    pub fn xy_route_links(&self, from: usize, to: usize, mut visit: impl FnMut(usize)) {
+        assert!(from < self.tiles() && to < self.tiles(), "tile out of range");
+        let (mut x, mut y) = (from % self.cols, from / self.cols);
+        let (tx, ty) = (to % self.cols, to / self.cols);
+        while x != tx {
+            let dir = if tx > x { 0 } else { 1 };
+            visit(self.link_id(y * self.cols + x, dir));
+            if tx > x {
+                x += 1;
+            } else {
+                x -= 1;
+            }
+        }
+        while y != ty {
+            let dir = if ty > y { 2 } else { 3 };
+            visit(self.link_id(y * self.cols + x, dir));
+            if ty > y {
+                y += 1;
+            } else {
+                y -= 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +140,22 @@ mod tests {
     fn latency_scales_with_hops() {
         let m = Mesh { cols: 4, rows: 1, hop_cycles: 2, uncore_ghz: 2.0 };
         assert_eq!(m.latency_ns(0, 2), 2.0); // 2 hops * 2 cycles / 2 GHz
+    }
+
+    #[test]
+    fn xy_route_links_match_hop_count_and_direction() {
+        let m = Mesh { cols: 4, rows: 4, hop_cycles: 2, uncore_ghz: 1.0 };
+        let mut links = Vec::new();
+        m.xy_route_links(5, 10, |l| links.push(l)); // (1,1) -> (2,2): east then south
+        assert_eq!(links.len() as u64, m.hops(5, 10));
+        assert_eq!(links, vec![m.link_id(5, 0), m.link_id(6, 2)]);
+        let mut none = Vec::new();
+        m.xy_route_links(7, 7, |l| none.push(l));
+        assert!(none.is_empty());
+        // Reverse route uses the opposite directions.
+        let mut back = Vec::new();
+        m.xy_route_links(10, 5, |l| back.push(l));
+        assert_eq!(back, vec![m.link_id(10, 1), m.link_id(9, 3)]);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod net;
 pub mod parallel;
 pub mod policy;
 pub mod power;
+pub mod relaxed;
 pub mod runner;
 pub mod spec;
 pub mod surface;
@@ -54,13 +55,14 @@ pub use estimate::{
 };
 pub use net::{LayerShape, Network};
 pub use parallel::{
-    parallel_map, parallel_try_map, parallel_try_map_cancel, FailureReport, JobFailure,
+    host_parallelism, parallel_map, parallel_try_map, parallel_try_map_cancel,
+    sim_thread_allowance, FailureReport, JobFailure,
 };
 pub use policy::{PolicyOutcome, VpuPolicy};
 pub use power::{EnergyBreakdown, PowerModel};
 pub use runner::{
-    run_kernel_custom_traced, run_kernel_traced, ConfigKind, KernelResult, MachineConfig,
-    MachineMode,
+    run_kernel_custom_traced, run_kernel_full, run_kernel_traced, ConfigKind, KernelResult,
+    KernelRun, MachineConfig, MachineMode, MulticoreConfig,
 };
 pub use surface::{DurableSweep, Surface, SweepOutcome};
 pub use trace::{trace_key, CoreTrace, KernelTrace, TraceStore};

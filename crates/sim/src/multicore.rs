@@ -1,20 +1,29 @@
-//! Detailed multicore mode: N cores cycle-interleaved over one shared
-//! uncore (NUCA L3 slices + mesh + DRAM channels).
+//! Detailed multicore mode: N cores over one shared uncore (NUCA L3 slices
+//! + mesh + DRAM channels).
 //!
 //! Each core runs its own instance of the kernel (data-parallel tiles, as
 //! DNNL parallelizes a layer across cores) with a distinct data seed; the
 //! shared structures see each core's buffers as distinct physical memory.
 //! The kernel's wall-clock time is the slowest core's finish time — exactly
 //! how a parallel layer completes.
+//!
+//! Two engines share the per-core [`Lane`] machinery (DESIGN.md §5i):
+//!
+//! * **lockstep** (`mc.quantum == 1`, the default) — cores are interleaved
+//!   cycle by cycle on one host thread, every uncore access hits shared
+//!   state immediately;
+//! * **relaxed** (`mc.quantum > 1`, [`crate::relaxed`]) — each core runs a
+//!   quantum of cycles against a private uncore view, then all logs replay
+//!   into the shared uncore at a deterministic barrier.
 
 use crate::cancel::CancelToken;
 use crate::error::SimError;
-use crate::runner::{warm_regions, ConfigKind, KernelResult, MachineConfig};
+use crate::runner::{warm_regions, ConfigKind, KernelResult, KernelRun, MachineConfig};
 use crate::trace::{CoreTrace, KernelTrace, TraceMode};
-use save_core::{Core, CoreConfig};
+use save_core::{Core, CoreConfig, RunOutcome};
 use save_isa::Memory;
 use save_kernels::BuiltKernel;
-use save_mem::{CoreMemory, Uncore};
+use save_mem::{CoreMemory, Uncore, UncoreAccess};
 use std::sync::Arc;
 
 /// Runs `w` on every core of a detailed machine; returns the slowest core's
@@ -39,7 +48,7 @@ pub fn run_multicore(
 
 /// [`run_multicore`] with an optional cooperative cancel token: the token's
 /// flag is shared by every simulated core, so one latch stops the whole
-/// lockstep machine within a cancel quantum.
+/// machine within a cancel quantum.
 pub fn run_multicore_cancel(
     w: &save_kernels::GemmWorkload,
     kind: ConfigKind,
@@ -73,6 +82,19 @@ pub fn run_multicore_custom_cancel(
     verify: bool,
     cancel: Option<&CancelToken>,
 ) -> Result<KernelResult, SimError> {
+    run_multicore_inner(w, core_cfg, machine, seed, verify, cancel, None).map(|r| r.result)
+}
+
+/// [`run_multicore_custom_cancel`] returning the full [`KernelRun`] with
+/// the uncore contention report.
+pub(crate) fn run_multicore_full(
+    w: &save_kernels::GemmWorkload,
+    core_cfg: &CoreConfig,
+    machine: &MachineConfig,
+    seed: u64,
+    verify: bool,
+    cancel: Option<&CancelToken>,
+) -> Result<KernelRun, SimError> {
     run_multicore_inner(w, core_cfg, machine, seed, verify, cancel, None)
 }
 
@@ -89,34 +111,91 @@ pub(crate) fn run_multicore_traced(
     cancel: Option<&CancelToken>,
     mode: TraceMode<'_>,
 ) -> Result<KernelResult, SimError> {
-    run_multicore_inner(w, core_cfg, machine, seed, verify, cancel, Some(mode))
+    run_multicore_inner(w, core_cfg, machine, seed, verify, cancel, Some(mode)).map(|r| r.result)
 }
 
-/// What the lockstep machine executes from: per-core built kernels (direct
-/// and record modes) or a recorded trace plus per-core empty functional
-/// arenas (replay never touches memory values).
-enum Exec {
-    Built(Vec<BuiltKernel>),
-    Replay { trace: Arc<KernelTrace>, mems: Vec<Memory> },
+/// What one core executes from: its own built kernel (direct and record
+/// modes) or its slice of a recorded trace plus an empty functional arena
+/// (replay never touches memory values).
+pub(crate) enum LaneExec {
+    /// A freshly built kernel with its functional arena.
+    Built(Box<BuiltKernel>),
+    /// A recorded trace (shared by all lanes; this lane reads
+    /// `trace.cores[idx]`).
+    Replay {
+        /// The whole-machine trace.
+        trace: Arc<KernelTrace>,
+        /// Empty functional arena (replay reads no memory values).
+        mem: Memory,
+    },
 }
 
-fn run_multicore_inner(
+/// One simulated core with everything it needs to run: the core, its
+/// private memory, its program/arena and (once done) its outcome. Both the
+/// lockstep and relaxed engines drive a `Vec<Lane>`.
+pub(crate) struct Lane {
+    /// Core index == mesh tile index.
+    pub(crate) idx: usize,
+    pub(crate) core: Core,
+    pub(crate) cmem: CoreMemory,
+    pub(crate) exec: LaneExec,
+    pub(crate) outcome: Option<RunOutcome>,
+}
+
+impl Lane {
+    /// Advances the lane one cycle against `uncore` (lockstep engine).
+    fn step(&mut self, uncore: &mut dyn UncoreAccess) -> Option<RunOutcome> {
+        match &mut self.exec {
+            LaneExec::Built(bk) => {
+                self.core.step(&bk.program, &mut bk.mem, &mut self.cmem, uncore)
+            }
+            LaneExec::Replay { trace, mem } => {
+                self.core.step(&trace.cores[self.idx].program, mem, &mut self.cmem, uncore)
+            }
+        }
+    }
+
+    /// Runs the lane until its local clock reaches `limit` (relaxed engine;
+    /// see [`Core::run_until_cycle`]). No-op once the outcome is set.
+    pub(crate) fn run_until(&mut self, limit: u64, uncore: &mut dyn UncoreAccess) {
+        if self.outcome.is_some() {
+            return;
+        }
+        let res = match &mut self.exec {
+            LaneExec::Built(bk) => self.core.run_until_cycle(
+                limit,
+                &bk.program,
+                &mut bk.mem,
+                &mut self.cmem,
+                uncore,
+            ),
+            LaneExec::Replay { trace, mem } => self.core.run_until_cycle(
+                limit,
+                &trace.cores[self.idx].program,
+                mem,
+                &mut self.cmem,
+                uncore,
+            ),
+        };
+        self.outcome = res;
+    }
+}
+
+/// Builds one lane per core: validates nothing (callers validate configs),
+/// builds/replays the per-core kernels and applies the §VI warm-up policy
+/// against the shared uncore in core order — identical for both engines, so
+/// warm-up state never depends on the engine choice.
+fn setup_lanes(
     w: &save_kernels::GemmWorkload,
-    core_cfg: &CoreConfig,
+    cfg: CoreConfig,
     machine: &MachineConfig,
     seed: u64,
-    verify: bool,
-    cancel: Option<&CancelToken>,
-    mode: Option<TraceMode<'_>>,
-) -> Result<KernelResult, SimError> {
-    let cfg = *core_cfg;
-    cfg.validate().map_err(|what| SimError::InvalidConfig { what })?;
-    machine.mem.validate().map_err(|what| SimError::InvalidConfig { what })?;
+    mode: &Option<TraceMode<'_>>,
+    uncore: &mut Uncore,
+) -> Result<Vec<Lane>, SimError> {
     let n = machine.cores.max(1);
-    let mut uncore = Uncore::new(&machine.mem, n);
-    let mut cores: Vec<_> = (0..n).map(|_| Core::new(cfg)).collect();
-    let mut cmems: Vec<CoreMemory> = Vec::with_capacity(n);
-    let mut exec = match &mode {
+    let mut lanes = Vec::with_capacity(n);
+    match mode {
         Some(TraceMode::Replay { trace }) => {
             if trace.cores.len() != n {
                 return Err(SimError::Protocol {
@@ -126,38 +205,51 @@ fn run_multicore_inner(
                     ),
                 });
             }
-            for (c, (core, tc)) in cores.iter_mut().zip(&trace.cores).enumerate() {
+            for (c, tc) in trace.cores.iter().enumerate() {
+                let mut core = Core::new(cfg);
                 let mut cm = CoreMemory::new(c, machine.mem, cfg.freq_ghz);
-                warm_regions(w, &tc.regions, &mut cm, &mut uncore);
-                cmems.push(cm);
+                warm_regions(w, &tc.regions, &mut cm, uncore);
                 core.set_replay(Arc::clone(&tc.func));
+                lanes.push(Lane {
+                    idx: c,
+                    core,
+                    cmem: cm,
+                    exec: LaneExec::Replay { trace: Arc::clone(trace), mem: Memory::new(0) },
+                    outcome: None,
+                });
             }
-            Exec::Replay { trace: Arc::clone(trace), mems: (0..n).map(|_| Memory::new(0)).collect() }
         }
         other => {
-            let built: Vec<_> = (0..n).map(|c| w.build(seed.wrapping_add(c as u64))).collect();
             for c in 0..n {
+                let built = w.build(seed.wrapping_add(c as u64));
+                let mut core = Core::new(cfg);
                 let mut cm = CoreMemory::new(c, machine.mem, cfg.freq_ghz);
-                warm_regions(w, &built[c].regions, &mut cm, &mut uncore);
-                cmems.push(cm);
+                warm_regions(w, &built.regions, &mut cm, uncore);
                 if matches!(other, Some(TraceMode::Record { .. })) {
-                    cores[c].set_record();
+                    core.set_record();
                 }
+                lanes.push(Lane {
+                    idx: c,
+                    core,
+                    cmem: cm,
+                    exec: LaneExec::Built(Box::new(built)),
+                    outcome: None,
+                });
             }
-            Exec::Built(built)
-        }
-    };
-    if let Some(tok) = cancel {
-        for core in &mut cores {
-            core.set_cancel(tok.as_flag());
         }
     }
-    let mut outcomes: Vec<Option<save_core::RunOutcome>> = vec![None; n];
+    Ok(lanes)
+}
 
-    let mut remaining = n;
+/// The serial lockstep engine: cores are interleaved cycle by cycle over
+/// the shared uncore. This is the `quantum == 1` degenerate case of the
+/// relaxed protocol (a barrier every cycle) and the bit-exactness oracle
+/// the relaxed engine is tested against.
+fn run_lockstep(lanes: &mut [Lane], uncore: &mut Uncore) {
+    let mut remaining = lanes.iter().filter(|l| l.outcome.is_none()).count();
     while remaining > 0 {
-        for c in 0..n {
-            if outcomes[c].is_some() {
+        for lane in lanes.iter_mut() {
+            if lane.outcome.is_some() {
                 continue;
             }
             // Per-core single-cycle skip: an inert core whose next event is
@@ -166,26 +258,15 @@ fn run_multicore_inner(
             // one cycle instead of stepping it. This is what keeps mixed
             // rounds cheap — typically only one core is actually active
             // while the rest wait on DRAM.
-            let skip = cores[c].ff_target().is_some_and(|t| t > cores[c].cycle());
+            let skip = lane.core.ff_target().is_some_and(|t| t > lane.core.cycle());
             let res = if skip {
-                let next = cores[c].cycle() + 1;
-                cores[c].advance_to(next)
+                let next = lane.core.cycle() + 1;
+                lane.core.advance_to(next)
             } else {
-                match &mut exec {
-                    Exec::Built(built) => {
-                        let bk = &mut built[c];
-                        cores[c].step(&bk.program, &mut bk.mem, &mut cmems[c], &mut uncore)
-                    }
-                    Exec::Replay { trace, mems } => cores[c].step(
-                        &trace.cores[c].program,
-                        &mut mems[c],
-                        &mut cmems[c],
-                        &mut uncore,
-                    ),
-                }
+                lane.step(uncore)
             };
             if let Some(out) = res {
-                outcomes[c] = Some(out);
+                lane.outcome = Some(out);
                 remaining -= 1;
             }
         }
@@ -196,11 +277,11 @@ fn run_multicore_inner(
         // cores — any core's earlier event would re-engage the others.
         let mut target: Option<u64> = None;
         let mut all_inert = true;
-        for (c, core) in cores.iter().enumerate() {
-            if outcomes[c].is_some() {
+        for lane in lanes.iter() {
+            if lane.outcome.is_some() {
                 continue;
             }
-            match core.ff_target() {
+            match lane.core.ff_target() {
                 Some(t) => target = Some(target.map_or(t, |m| m.min(t))),
                 None => {
                     all_inert = false;
@@ -210,34 +291,80 @@ fn run_multicore_inner(
         }
         if all_inert {
             if let Some(t) = target {
-                for c in 0..n {
-                    if outcomes[c].is_some() {
+                for lane in lanes.iter_mut() {
+                    if lane.outcome.is_some() {
                         continue;
                     }
-                    if let Some(out) = cores[c].advance_to(t) {
-                        outcomes[c] = Some(out);
+                    if let Some(out) = lane.core.advance_to(t) {
+                        lane.outcome = Some(out);
                         remaining -= 1;
                     }
                 }
             }
         }
     }
+}
 
+fn run_multicore_inner(
+    w: &save_kernels::GemmWorkload,
+    core_cfg: &CoreConfig,
+    machine: &MachineConfig,
+    seed: u64,
+    verify: bool,
+    cancel: Option<&CancelToken>,
+    mode: Option<TraceMode<'_>>,
+) -> Result<KernelRun, SimError> {
+    let cfg = *core_cfg;
+    cfg.validate().map_err(|what| SimError::InvalidConfig { what })?;
+    machine.mem.validate().map_err(|what| SimError::InvalidConfig { what })?;
+    machine.mc.validate().map_err(|what| SimError::InvalidConfig { what })?;
+    let n = machine.cores.max(1);
+    let mut uncore = Uncore::new(&machine.mem, n);
+    let mut lanes = setup_lanes(w, cfg, machine, seed, &mode, &mut uncore)?;
+    if let Some(tok) = cancel {
+        for lane in &mut lanes {
+            lane.core.set_cancel(tok.as_flag());
+        }
+    }
+    if machine.mc.quantum > 1 {
+        crate::relaxed::run_relaxed(
+            &mut lanes,
+            &mut uncore,
+            machine.mc.quantum,
+            machine.mc.threads,
+        );
+    } else {
+        run_lockstep(&mut lanes, &mut uncore);
+    }
+    finalize(w, cfg, lanes, &uncore, verify, mode)
+}
+
+/// Turns finished lanes into the run verdict: cancellation first, then
+/// per-core violations/stalls, then verification + trace admission, then
+/// the slowest core's timing. Shared by both engines.
+fn finalize(
+    w: &save_kernels::GemmWorkload,
+    cfg: CoreConfig,
+    lanes: Vec<Lane>,
+    uncore: &Uncore,
+    verify: bool,
+    mode: Option<TraceMode<'_>>,
+) -> Result<KernelRun, SimError> {
     // Cancellation outranks every other verdict: a machine whose cores were
     // told to stop produced no meaningful timing, and the caller needs the
     // dedicated error to journal/exit correctly.
-    if outcomes.iter().flatten().any(|o| o.cancelled) {
+    if lanes.iter().filter_map(|l| l.outcome.as_ref()).any(|o| o.cancelled) {
         return Err(SimError::Cancelled { what: w.name.clone() });
     }
     // A core that aborted (sanitizer) or stalled (watchdog or budget)
     // poisons the whole run: the layer never finishes. Report the first
     // such core's evidence.
-    for (c, o) in outcomes.iter().enumerate() {
-        let o = o.as_ref().expect("loop above filled every outcome");
+    for lane in &lanes {
+        let o = lane.outcome.as_ref().expect("engine filled every outcome");
         if let Some(report) = &o.violation {
             return Err(SimError::InvariantViolation {
                 kernel: w.name.clone(),
-                core: Some(c),
+                core: Some(lane.idx),
                 report: report.clone(),
             });
         }
@@ -245,23 +372,24 @@ fn run_multicore_inner(
             let Some(diag) = o.stall.clone() else {
                 return Err(SimError::Io {
                     what: format!(
-                        "core {c} stopped without a stall diagnosis or violation report"
+                        "core {} stopped without a stall diagnosis or violation report",
+                        lane.idx
                     ),
                 });
             };
             return Err(SimError::CycleBudgetExceeded {
                 kernel: w.name.clone(),
-                core: Some(c),
+                core: Some(lane.idx),
                 diag: Box::new(diag),
             });
         }
     }
-    let check_all = |built: &[BuiltKernel]| -> Result<(), SimError> {
-        for (c, b) in built.iter().enumerate() {
+    let check_lane = |lane: &Lane| -> Result<(), SimError> {
+        if let LaneExec::Built(b) = &lane.exec {
             if let Err((i, got, want)) = b.verify() {
                 return Err(SimError::VerifyMismatch {
                     kernel: w.name.clone(),
-                    core: Some(c),
+                    core: Some(lane.idx),
                     index: i,
                     got,
                     want,
@@ -270,20 +398,35 @@ fn run_multicore_inner(
         }
         Ok(())
     };
-    let verified = match (&mode, exec) {
+    let slowest = lanes
+        .iter()
+        .filter_map(|l| l.outcome.as_ref())
+        .max_by_key(|o| o.stats.cycles)
+        .cloned()
+        .expect("at least one core");
+    let verified = match &mode {
         // A recording run always checks every core's output before the
         // per-core traces are admitted as a set.
-        (Some(TraceMode::Record { store, key }), Exec::Built(built)) => {
-            check_all(&built)?;
-            let funcs: Vec<_> = cores.iter_mut().map(|co| co.take_trace()).collect();
+        Some(TraceMode::Record { store, key }) => {
+            for lane in &lanes {
+                check_lane(lane)?;
+            }
+            let mut lanes = lanes;
+            let funcs: Vec<_> = lanes.iter_mut().map(|l| l.core.take_trace()).collect();
             if funcs.iter().all(|f| f.as_ref().is_some_and(|t| t.replayable)) {
-                let per_core = built
+                let per_core = lanes
                     .into_iter()
                     .zip(funcs)
-                    .map(|(b, f)| CoreTrace {
-                        program: b.program,
-                        regions: b.regions,
-                        func: Arc::new(f.expect("all checked Some above")),
+                    .map(|(lane, f)| {
+                        let LaneExec::Built(b) = lane.exec else {
+                            unreachable!("record implies built lanes");
+                        };
+                        let b = *b;
+                        CoreTrace {
+                            program: b.program,
+                            regions: b.regions,
+                            func: Arc::new(f.expect("all checked Some above")),
+                        }
                     })
                     .collect();
                 store.insert(*key, KernelTrace { cores: per_core });
@@ -291,28 +434,27 @@ fn run_multicore_inner(
             verify
         }
         // Replay has no functional output; the trace verified at record.
-        (Some(TraceMode::Replay { .. }), _) => verify,
-        (_, Exec::Built(built)) => {
+        Some(TraceMode::Replay { .. }) => verify,
+        None => {
             if verify {
-                check_all(&built)?;
+                for lane in &lanes {
+                    check_lane(lane)?;
+                }
                 true
             } else {
                 false
             }
         }
-        (_, Exec::Replay { .. }) => unreachable!("replay implies TraceMode::Replay"),
     };
-    let slowest = outcomes
-        .into_iter()
-        .flatten()
-        .max_by_key(|o| o.stats.cycles)
-        .expect("at least one core");
-    Ok(KernelResult {
-        seconds: cfg.cycles_to_seconds(slowest.stats.cycles),
-        cycles: slowest.stats.cycles,
-        stats: slowest.stats,
-        verified,
-        completed: slowest.completed,
+    Ok(KernelRun {
+        result: KernelResult {
+            seconds: cfg.cycles_to_seconds(slowest.stats.cycles),
+            cycles: slowest.stats.cycles,
+            stats: slowest.stats,
+            verified,
+            completed: slowest.completed,
+        },
+        uncore: uncore.report(),
     })
 }
 
@@ -369,5 +511,16 @@ mod tests {
         let rs = run_kernel(&tiny(), ConfigKind::Baseline, &ms, 9, false).unwrap();
         let ratio = rd.seconds / rs.seconds;
         assert!((0.5..2.0).contains(&ratio), "detailed/symmetric ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn quantum_zero_is_rejected() {
+        let mut m = MachineConfig { cores: 2, mode: MachineMode::Detailed, ..Default::default() };
+        m.mc.quantum = 0;
+        let err = run_kernel(&tiny(), ConfigKind::Baseline, &m, 1, false).unwrap_err();
+        match err {
+            SimError::InvalidConfig { what } => assert!(what.contains("quantum"), "{what}"),
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
     }
 }

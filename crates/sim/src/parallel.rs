@@ -93,6 +93,44 @@ impl std::fmt::Display for FailureReport {
     }
 }
 
+/// Sweep workers currently claiming jobs across every live
+/// `parallel_try_map*` call in the process — the shared thread budget that
+/// keeps nested parallelism (sweep workers × per-machine relaxed-sync
+/// threads) from oversubscribing the host.
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Host hardware threads (1 when undetectable).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// RAII registration of `n` sweep workers against the shared budget.
+struct WorkerBudget(usize);
+
+impl WorkerBudget {
+    fn register(n: usize) -> Self {
+        ACTIVE_WORKERS.fetch_add(n, Ordering::SeqCst);
+        WorkerBudget(n)
+    }
+}
+
+impl Drop for WorkerBudget {
+    fn drop(&mut self) {
+        ACTIVE_WORKERS.fetch_sub(self.0, Ordering::SeqCst);
+    }
+}
+
+/// How many host threads one nested simulation (e.g. the relaxed-sync
+/// multicore engine with `threads == 0`) may use right now: the host's
+/// parallelism divided by the sweep workers currently active, never below
+/// one. A sweep already using every host thread pins nested engines to one
+/// thread each instead of spawning workers × cores threads; with no sweep
+/// active the full host is available.
+pub fn sim_thread_allowance() -> usize {
+    let active = ACTIVE_WORKERS.load(Ordering::SeqCst);
+    (host_parallelism() / active.max(1)).max(1)
+}
+
 /// Turns a caught panic payload into a [`SimError::WorkerPanic`].
 pub(crate) fn panic_error(job: usize, payload: Box<dyn std::any::Any + Send>) -> SimError {
     let message = if let Some(s) = payload.downcast_ref::<&str>() {
@@ -147,6 +185,7 @@ where
     if threads <= 1 {
         return (0..items.len()).map(|i| run_job(items, i, retries, &f)).collect();
     }
+    let _budget = WorkerBudget::register(threads);
     let cursor = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, Result<R, SimError>)>> =
         Mutex::new(Vec::with_capacity(items.len()));
@@ -208,6 +247,7 @@ where
             .map(|i| if cancel.is_cancelled() { unclaimed(i) } else { run_one(i) })
             .collect();
     }
+    let _budget = WorkerBudget::register(threads);
     let cursor = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, Result<R, SimError>)>> =
         Mutex::new(Vec::with_capacity(items.len()));
@@ -384,6 +424,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn nested_thread_budget_is_shared() {
+        // While a 4-worker sweep is live, a nested simulation's allowance
+        // must shrink to at most host/4 (and never below 1). Other tests may
+        // register workers concurrently, which only shrinks the allowance
+        // further, so the upper bound stays safe to assert.
+        let host = host_parallelism();
+        let items: Vec<u32> = (0..8).collect();
+        let out = parallel_try_map(&items, 4, 0, |&x| {
+            let a = sim_thread_allowance();
+            assert!(a >= 1, "allowance must never reach zero");
+            assert!(
+                a <= (host / 4).max(1),
+                "allowance {a} ignores the 4 registered sweep workers (host {host})"
+            );
+            Ok(x)
+        });
+        assert!(out.iter().all(|r| r.is_ok()));
     }
 
     #[test]

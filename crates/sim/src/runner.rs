@@ -6,7 +6,7 @@ use crate::trace::{self, CoreTrace, KernelTrace, TraceMode, TraceStore};
 use save_core::{Core, CoreConfig, CoreStats, SchedulerKind};
 use save_isa::Memory;
 use save_kernels::{BuiltKernel, GemmWorkload, Region, RegionRole};
-use save_mem::{CoreMemory, MemConfig, Uncore, WarmLevel};
+use save_mem::{CoreMemory, MemConfig, Uncore, UncoreReport, WarmLevel};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -20,6 +20,40 @@ pub enum MachineMode {
     Detailed,
 }
 
+/// Multicore execution knobs for [`MachineMode::Detailed`] (DESIGN.md §5i).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MulticoreConfig {
+    /// Relaxed-synchronization quantum in core cycles. `1` (the default)
+    /// runs the serial lockstep engine — cores reconcile shared uncore
+    /// state every cycle, bit-identical to the pre-relaxed simulator.
+    /// Larger quanta let each core run (and fast-forward) independently
+    /// between deterministic barriers, at a timing-accuracy cost bounded by
+    /// the quantum length. Changes simulated timing, so it is part of the
+    /// cell cache key.
+    pub quantum: u64,
+    /// Host threads for the relaxed engine; `0` = auto (the shared thread
+    /// budget of [`crate::parallel`], clamped to the core count). Provably
+    /// does NOT affect simulation results — only wall-clock speed — so it
+    /// is excluded from the cell cache key.
+    pub threads: usize,
+}
+
+impl Default for MulticoreConfig {
+    fn default() -> Self {
+        MulticoreConfig { quantum: 1, threads: 0 }
+    }
+}
+
+impl MulticoreConfig {
+    /// Rejects degenerate configurations (`quantum == 0`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.quantum == 0 {
+            return Err("machine config: mc.quantum must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
 /// Machine-level configuration.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct MachineConfig {
@@ -29,11 +63,20 @@ pub struct MachineConfig {
     pub mode: MachineMode,
     /// Memory-system configuration.
     pub mem: MemConfig,
+    /// Multicore engine knobs (quantum / host threads); defaults preserve
+    /// the serial lockstep behaviour.
+    #[serde(default)]
+    pub mc: MulticoreConfig,
 }
 
 impl Default for MachineConfig {
     fn default() -> Self {
-        MachineConfig { cores: 28, mode: MachineMode::Symmetric, mem: MemConfig::default() }
+        MachineConfig {
+            cores: 28,
+            mode: MachineMode::Symmetric,
+            mem: MemConfig::default(),
+            mc: MulticoreConfig::default(),
+        }
     }
 }
 
@@ -86,6 +129,18 @@ pub struct KernelResult {
     pub verified: bool,
     /// Whether the run completed within the cycle budget.
     pub completed: bool,
+}
+
+/// A kernel result together with the machine's uncore contention report
+/// (per-link flit occupancy, per-slice MSHR conflicts, DRAM queue depth) —
+/// the many-core signals [`KernelResult`] alone cannot carry because it
+/// stays `Copy`.
+#[derive(Clone, Debug)]
+pub struct KernelRun {
+    /// The timing result (slowest core in detailed mode).
+    pub result: KernelResult,
+    /// Shared-uncore contention counters for the whole run.
+    pub uncore: UncoreReport,
 }
 
 /// Applies the paper's §VI warm-up policy: the broadcast-side input (the
@@ -158,6 +213,31 @@ pub fn run_kernel_cancel(
     }
 }
 
+/// [`run_kernel_cancel`] that additionally returns the uncore contention
+/// report (see [`KernelRun`]). Same errors and timing semantics.
+pub fn run_kernel_full(
+    w: &GemmWorkload,
+    kind: ConfigKind,
+    machine: &MachineConfig,
+    seed: u64,
+    verify: bool,
+    cancel: Option<&CancelToken>,
+) -> Result<KernelRun, SimError> {
+    match machine.mode {
+        MachineMode::Detailed => crate::multicore::run_multicore_full(
+            w,
+            &kind.core_config(),
+            machine,
+            seed,
+            verify,
+            cancel,
+        ),
+        MachineMode::Symmetric => {
+            run_symmetric(w, &kind.core_config(), machine, seed, verify, cancel, None)
+        }
+    }
+}
+
 /// Like [`run_kernel`] but with an arbitrary core configuration — used by
 /// the ablation studies (Figs 17-19) that toggle individual SAVE features.
 /// Respects `machine.mode` like [`run_kernel`] does.
@@ -186,7 +266,7 @@ pub fn run_kernel_custom_cancel(
             w, core_cfg, machine, seed, verify, cancel,
         );
     }
-    run_symmetric(w, core_cfg, machine, seed, verify, cancel, None)
+    run_symmetric(w, core_cfg, machine, seed, verify, cancel, None).map(|r| r.result)
 }
 
 /// [`run_kernel_cancel`] with a [`TraceStore`]: the first cell to run for a
@@ -234,7 +314,7 @@ pub fn run_kernel_custom_traced(
             crate::multicore::run_multicore_traced(w, core_cfg, machine, seed, verify, cancel, mode)
         }
         MachineMode::Symmetric => {
-            run_symmetric(w, core_cfg, machine, seed, verify, cancel, Some(mode))
+            run_symmetric(w, core_cfg, machine, seed, verify, cancel, Some(mode)).map(|r| r.result)
         }
     }
 }
@@ -257,10 +337,11 @@ fn run_symmetric(
     verify: bool,
     cancel: Option<&CancelToken>,
     mode: Option<TraceMode<'_>>,
-) -> Result<KernelResult, SimError> {
+) -> Result<KernelRun, SimError> {
     let cfg = *core_cfg;
     cfg.validate().map_err(|what| SimError::InvalidConfig { what })?;
     machine.mem.validate().map_err(|what| SimError::InvalidConfig { what })?;
+    machine.mc.validate().map_err(|what| SimError::InvalidConfig { what })?;
     let mut uncore = Uncore::new_symmetric(&machine.mem, machine.cores);
     let mut cmem = CoreMemory::new(0, machine.mem, cfg.freq_ghz);
     let mut core = Core::new(cfg);
@@ -361,12 +442,15 @@ fn run_symmetric(
         }
         (_, Exec::Replay { .. }) => unreachable!("replay implies TraceMode::Replay"),
     };
-    Ok(KernelResult {
-        seconds: cfg.cycles_to_seconds(out.stats.cycles),
-        cycles: out.stats.cycles,
-        stats: out.stats,
-        verified,
-        completed: out.completed,
+    Ok(KernelRun {
+        result: KernelResult {
+            seconds: cfg.cycles_to_seconds(out.stats.cycles),
+            cycles: out.stats.cycles,
+            stats: out.stats,
+            verified,
+            completed: out.completed,
+        },
+        uncore: uncore.report(),
     })
 }
 

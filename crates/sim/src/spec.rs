@@ -96,14 +96,21 @@ impl CellSpec {
     }
 
     /// Content address of the cell's *timing* configuration: the core
-    /// operating point, the memory-system configuration, and the verify
-    /// flag — everything [`CellSpec::trace_key`] deliberately excludes.
+    /// operating point, the memory-system configuration, the relaxed-sync
+    /// quantum (it bounds the in-quantum timing error, so different quanta
+    /// are different timing results) and the verify flag — everything
+    /// [`CellSpec::trace_key`] deliberately excludes. The host-thread count
+    /// is deliberately NOT hashed: it provably never changes results
+    /// (deterministic barrier reconciliation, DESIGN.md §5i), so cached
+    /// cells stay valid across machines with different core counts.
     pub fn timing_key(&self) -> Result<u64, SimError> {
         let cj = serde_json::to_string(&self.core)
             .map_err(|e| SimError::Protocol { what: format!("serialize core sel: {e}") })?;
         let mj = serde_json::to_string(&self.machine.mem)
             .map_err(|e| SimError::Protocol { what: format!("serialize mem config: {e}") })?;
-        Ok(fnv1a(format!("time|{cj}|{mj}|{}", self.verify).as_bytes()))
+        Ok(fnv1a(
+            format!("time|{cj}|{mj}|q{}|{}", self.machine.mc.quantum, self.verify).as_bytes(),
+        ))
     }
 
     /// Content hash keying the memo cache: `hash(trace_key ‖ timing_key)`.
